@@ -1,0 +1,57 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation, printing the series (run pytest with ``-s`` to see them live)
+and writing it to ``benchmarks/out/<experiment>.txt`` so EXPERIMENTS.md
+can be refreshed from a run.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+``tiny`` (default; the whole suite in a couple of minutes), ``small``,
+``medium``, or ``paper`` (the publication's 1M-document workload — hours
+in pure Python).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.simulate.workload_factory import Scale, get_workload
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_scale() -> Scale:
+    """The workload scale selected via ``REPRO_BENCH_SCALE``."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower()
+    try:
+        return getattr(Scale, name)()
+    except AttributeError:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be tiny/small/medium/paper, got '{name}'"
+        ) from None
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """Session-cached workload at the selected benchmark scale."""
+    return get_workload(bench_scale())
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Writer that prints a regenerated figure and persists it to disk."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(experiment_id: str, text: str) -> None:
+        print(f"\n=== {experiment_id} ===\n{text}")
+        (OUT_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

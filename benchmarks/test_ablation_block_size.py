@@ -1,0 +1,65 @@
+"""ABL-BLOCKSIZE — Ablation: the jump-index block size L.
+
+DESIGN.md decision 3.  The paper presents L = 8 KB in detail and notes
+two opposing effects of larger blocks (Section 4.5): "Increasing the
+block size L beyond 8 Kbytes ... reduces the I/Os per document, by
+reducing the storage overhead for jump pointers", while Figure 8(a)
+shows pointer space overhead shrinking with L (so disjunctive scans get
+cheaper too) — at the cost of coarser seek granularity for conjunctive
+queries.
+
+This ablation sweeps L at fixed B, reporting (analytically) the space
+overhead and (from the live index) insert I/Os per document.
+"""
+
+from conftest import once
+
+from repro.core.space import postings_per_block, space_overhead
+from repro.simulate.jump_sim import build_merged_index
+from repro.simulate.report import format_table
+
+NUM_LISTS = 32
+BRANCHING = 8
+MAX_DOC_BITS = 16
+BLOCK_SIZES = [512, 1024, 2048, 4096]
+
+
+def test_ablation_block_size(benchmark, workload, emit):
+    docs = workload.documents[: min(4000, len(workload.documents))]
+    n = 2**MAX_DOC_BITS
+
+    def run():
+        rows = []
+        for block_size in BLOCK_SIZES:
+            bundle = build_merged_index(
+                docs,
+                num_lists=NUM_LISTS,
+                branching=BRANCHING,
+                block_size=block_size,
+                max_doc_bits=MAX_DOC_BITS,
+                cache_blocks=max(64, NUM_LISTS * 2),
+            )
+            rows.append(
+                (
+                    block_size,
+                    postings_per_block(block_size, BRANCHING, n),
+                    round(100 * space_overhead(block_size, BRANCHING, n), 1),
+                    round(bundle.ios_per_doc(), 2),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "ABL-BLOCKSIZE",
+        format_table(
+            ["block L", "postings/block", "space overhead %", "insert ios/doc"],
+            rows,
+            title=f"Ablation: jump-index block size (B={BRANCHING})",
+        ),
+    )
+    overheads = [r[2] for r in rows]
+    ios = [r[3] for r in rows]
+    # Larger blocks: lower pointer overhead AND fewer insert I/Os.
+    assert overheads == sorted(overheads, reverse=True)
+    assert ios[-1] <= ios[0]

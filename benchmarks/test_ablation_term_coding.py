@@ -1,0 +1,73 @@
+"""ABL-TERMCODE — How much does Huffman coding of keyword tags save?
+
+Section 3 of the paper budgets ``log2(q)`` bits per merged-list entry
+for the keyword encoding and remarks that Huffman coding would reduce it
+"since keyword occurrences within merged posting lists are unlikely to
+be uniformly distributed", excluding the refinement from its analysis.
+
+This ablation quantifies the remark on the synthetic workload: for each
+merged list under uniform hashing, build the optimal prefix code over
+its actual term mix and compare the posting-weighted expected bits with
+the fixed-width budget.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.core.merge import UniformHashMerge
+from repro.core.term_coding import build_huffman_code, entropy_bits
+from repro.simulate.report import format_table
+
+NUM_LISTS_SWEEP = [64, 256, 1024]
+
+
+def test_ablation_term_coding(benchmark, workload, emit):
+    stats = workload.stats
+
+    def run():
+        rows = []
+        for num_lists in NUM_LISTS_SWEEP:
+            assignment = UniformHashMerge(num_lists).assign(stats.num_terms)
+            fixed_total = 0.0
+            huffman_total = 0.0
+            entropy_total = 0.0
+            postings_total = 0
+            for list_id in range(num_lists):
+                terms = assignment.terms_in_list(list_id)
+                counts = {
+                    int(t): int(stats.ti[t]) for t in terms if stats.ti[t] > 0
+                }
+                if not counts:
+                    continue
+                code = build_huffman_code(counts)
+                postings = sum(counts.values())
+                fixed_total += code.fixed_width_bits() * postings
+                huffman_total += code.expected_bits() * postings
+                entropy_total += entropy_bits(counts) * postings
+                postings_total += postings
+            rows.append(
+                (
+                    num_lists,
+                    round(fixed_total / postings_total, 2),
+                    round(huffman_total / postings_total, 2),
+                    round(entropy_total / postings_total, 2),
+                    round(100 * (1 - huffman_total / fixed_total), 1),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "ABL-TERMCODE",
+        format_table(
+            ["lists M", "fixed bits", "huffman bits", "entropy bits", "saving %"],
+            rows,
+            title="Ablation: per-entry keyword-tag bits, fixed vs Huffman",
+        ),
+    )
+    for _, fixed, huffman, entropy, saving in rows:
+        # The paper's remark: real mixes compress well below log2(q)...
+        assert huffman < fixed
+        assert saving > 20
+        # ...and Huffman sits within 1 bit of the entropy bound.
+        assert huffman < entropy + 1.0

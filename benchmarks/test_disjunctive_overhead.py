@@ -1,0 +1,80 @@
+"""SEC45-DISJ — Measured disjunctive slowdown of carrying a jump index.
+
+Section 4.5: "jump indexes slow down disjunctive query workloads by the
+same factor as the space overhead of the jump index.  For example, the
+slowdown is 1.5% and 11% for B = 2 and B = 32, respectively, for 8 KB
+blocks."
+
+The analytic side is Figure 8(a)'s model (`core.space`); this benchmark
+*measures* it on live indexes: identical postings ingested with and
+without jump indexes, comparing the total blocks a full disjunctive scan
+reads.  The measured block ratio must match the analytic
+``postings_per_block`` ratio, because that is all the slowdown is.
+"""
+
+from conftest import once
+
+from repro.core.posting import POSTING_SIZE
+from repro.core.space import postings_per_block
+from repro.simulate.jump_sim import build_merged_index
+from repro.simulate.report import format_table
+
+NUM_LISTS = 16
+BLOCK_SIZE = 4096
+MAX_DOC_BITS = 16
+BRANCHINGS = (2, 8, 32, 64)
+
+
+def test_disjunctive_overhead(benchmark, workload, emit):
+    docs = workload.documents[: min(3000, len(workload.documents))]
+    n = 2**MAX_DOC_BITS
+
+    def run():
+        baseline = build_merged_index(
+            docs, num_lists=NUM_LISTS, branching=None, block_size=BLOCK_SIZE
+        )
+        base_blocks = sum(pl.num_blocks for pl in baseline.lists.values())
+        rows = []
+        for branching in BRANCHINGS:
+            bundle = build_merged_index(
+                docs,
+                num_lists=NUM_LISTS,
+                branching=branching,
+                block_size=BLOCK_SIZE,
+                max_doc_bits=MAX_DOC_BITS,
+            )
+            blocks = sum(pl.num_blocks for pl in bundle.lists.values())
+            measured = blocks / base_blocks - 1
+            analytic = (
+                (BLOCK_SIZE // POSTING_SIZE)
+                / postings_per_block(BLOCK_SIZE, branching, n)
+                - 1
+            )
+            rows.append(
+                (
+                    branching,
+                    blocks,
+                    round(100 * measured, 1),
+                    round(100 * analytic, 1),
+                )
+            )
+        return base_blocks, rows
+
+    base_blocks, rows = once(benchmark, run)
+    emit(
+        "SEC45-DISJ",
+        format_table(
+            ["B", "scan blocks", "measured slowdown %", "analytic %"],
+            rows,
+            title=(
+                "Section 4.5: disjunctive scan slowdown of a jump index "
+                f"(baseline {base_blocks} blocks, L={BLOCK_SIZE})"
+            ),
+        ),
+    )
+    for _, _, measured, analytic in rows:
+        # Measured block inflation matches the space model within the
+        # partial-tail-block quantization noise.
+        assert abs(measured - analytic) <= max(2.0, 0.25 * analytic)
+    slowdowns = [measured for _, _, measured, _ in rows]
+    assert slowdowns == sorted(slowdowns)  # grows with B

@@ -1,0 +1,112 @@
+"""EPOCH-DRIFT — The Section 3.3 epoch scheme under drifting popularity.
+
+Figures 3(f)/3(g) establish that one learning pass suffices when term
+statistics are stable; the paper's contingency — "in an environment
+where the frequencies are less stable, the system can learn the
+frequencies online, and the merging strategy can be adapted accordingly"
+— is only asserted, never measured.  This experiment measures it.
+
+Setup: a multi-epoch query workload whose hot term set rotates each
+epoch (document statistics fixed).  Strategies compared, per epoch:
+
+* **uniform** — no popularity awareness at all (the robust default);
+* **stale-learned** — popular terms learned once, in epoch 0, then
+  frozen (what static learning degrades to under drift);
+* **adaptive** — each epoch's popular set learned from the *previous*
+  epoch's observed queries (the epoch scheme);
+* **oracle** — popular set from the same epoch's own statistics (the
+  unrealizable lower bound).
+
+Expected shape: stale degrades toward (or past) uniform as the hot set
+rotates away from its frozen choice; adaptive tracks the oracle.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.core.cost_model import cost_ratio
+from repro.core.merge import PopularUnmergedMerge, UniformHashMerge
+from repro.simulate.report import format_table
+from repro.workloads.drift import DriftConfig, DriftingWorkload
+from repro.workloads.stats import WorkloadStats
+
+NUM_LISTS = 256
+UNMERGED = 100
+
+
+def _popular_from(qi: np.ndarray, k: int) -> np.ndarray:
+    top = np.argpartition(qi, -k)[-k:]
+    return top[np.argsort(qi[top])[::-1]]
+
+
+def test_epoch_adaptation(benchmark, workload, emit):
+    drift = DriftingWorkload(
+        DriftConfig(
+            vocabulary_size=workload.vocabulary_size,
+            num_epochs=4,
+            queries_per_epoch=3_000,
+            hot_pool_size=1_000,
+            drift_stride=50,
+        )
+    )
+    ti = workload.stats.ti
+
+    def run():
+        epochs = list(drift.epochs())
+        stale_popular = _popular_from(epochs[0].qi, UNMERGED)
+        rows = []
+        for i, epoch in enumerate(epochs):
+            stats = WorkloadStats(ti=ti, qi=epoch.qi)
+            uniform = UniformHashMerge(NUM_LISTS).assign(stats.num_terms)
+            stale = PopularUnmergedMerge(NUM_LISTS, stale_popular).assign(
+                stats.num_terms
+            )
+            if i == 0:
+                adaptive_assignment = uniform  # nothing learned yet
+            else:
+                learned = _popular_from(epochs[i - 1].qi, UNMERGED)
+                adaptive_assignment = PopularUnmergedMerge(
+                    NUM_LISTS, learned
+                ).assign(stats.num_terms)
+            oracle = PopularUnmergedMerge(
+                NUM_LISTS, _popular_from(epoch.qi, UNMERGED)
+            ).assign(stats.num_terms)
+            rows.append(
+                (
+                    i,
+                    round(drift.hot_set_overlap(0, i), 2),
+                    round(cost_ratio(uniform, stats), 3),
+                    round(cost_ratio(stale, stats), 3),
+                    round(cost_ratio(adaptive_assignment, stats), 3),
+                    round(cost_ratio(oracle, stats), 3),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "EPOCH-DRIFT",
+        format_table(
+            ["epoch", "hot overlap w/ e0", "uniform", "stale-learned",
+             "adaptive", "oracle"],
+            rows,
+            title=(
+                "Epoch adaptation under drifting query popularity "
+                f"({NUM_LISTS} lists, {UNMERGED} unmerged terms)"
+            ),
+        ),
+    )
+    # The drift is real: epoch 0's hot set rotates fully away by the end.
+    assert rows[-1][1] < 0.5
+    for i, _, uniform, stale, adaptive, oracle in rows:
+        if i >= 1:
+            # Popularity awareness (fresh or stale) still beats uniform —
+            # the excluded terms are document-popular either way.
+            assert adaptive < uniform
+        if i >= 2:
+            # Once the hot set has fully rotated past epoch 0's snapshot,
+            # one-epoch-stale learning clearly beats frozen learning and
+            # stays within reach of the same-epoch oracle.  (At 50%
+            # overlap the ordering can be noise; at 0% it is structural.)
+            assert adaptive < stale
+            assert adaptive <= oracle * 1.5 + 0.1

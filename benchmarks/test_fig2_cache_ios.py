@@ -1,0 +1,93 @@
+"""FIG2 — Random I/Os per inserted document vs storage-cache size.
+
+Paper: Figure 2 (Section 3).  One posting list per term, tail blocks
+cached LRU.  The curve starts in the hundreds of I/Os per document and
+"levels off slowly due to the Zipfian distribution of the keywords";
+even multi-GB caches stay around 21 I/Os per document, versus ~1 with
+merged lists (the Section 2.3 arithmetic: 500 8-byte postings over 4 KB
+blocks).
+
+Our scaled corpus has proportionally fewer distinct terms per document,
+so absolute counts sit below the paper's; the leveling-off shape and the
+merged/unmerged gap are the reproduction targets.
+"""
+
+from conftest import once
+
+from repro.core.merge import UniformHashMerge, lists_for_cache
+from repro.simulate.cache_sim import (
+    analytic_merged_ios_per_doc,
+    figure2_sweep,
+    ios_per_doc_merged,
+)
+from repro.simulate.report import format_table
+
+BLOCK_SIZE = 4096
+
+
+def _cache_sizes(vocabulary_size: int):
+    """Sweep fractions of the tail-saturation point (vocab x block).
+
+    The paper's 4 MB - 64 GB axis spans the same regime relative to its
+    1M+-term vocabulary: from thrashing to (never quite) holding every
+    posting-list tail.  Deriving the sweep from the vocabulary keeps the
+    regime fixed across REPRO_BENCH_SCALE settings.
+    """
+    saturation = vocabulary_size * BLOCK_SIZE
+    return [max(1 << 20, saturation // f) for f in (64, 32, 16, 8, 4, 2, 1)]
+
+
+def test_fig2_cache_ios(benchmark, workload, emit):
+    docs = workload.documents
+    cache_sizes = _cache_sizes(workload.vocabulary_size)
+
+    def run():
+        unmerged = figure2_sweep(docs, cache_sizes, block_size=BLOCK_SIZE)
+        merged = []
+        for cache_bytes in cache_sizes:
+            num_lists = lists_for_cache(cache_bytes, BLOCK_SIZE)
+            assignment = UniformHashMerge(num_lists).assign(
+                workload.vocabulary_size
+            )
+            merged.append(
+                ios_per_doc_merged(
+                    docs,
+                    assignment,
+                    cache_size_bytes=cache_bytes,
+                    block_size=BLOCK_SIZE,
+                )
+            )
+        return unmerged, merged
+
+    unmerged, merged = once(benchmark, run)
+    postings_per_doc = sum(d.num_distinct_terms for d in docs) / len(docs)
+    rows = [
+        (size >> 20, round(u, 2), round(m, 3), round(u / max(m, 1e-9), 1))
+        for (size, u), m in zip(unmerged, merged)
+    ]
+    emit(
+        "FIG2",
+        format_table(
+            ["cache_MB", "ios/doc unmerged", "ios/doc merged", "speedup"],
+            rows,
+            title=(
+                "Figure 2: random I/Os per inserted document "
+                f"(block {BLOCK_SIZE} B, {postings_per_doc:.0f} postings/doc; "
+                f"analytic merged floor "
+                f"{analytic_merged_ios_per_doc(postings_per_doc, block_size=BLOCK_SIZE):.3f})"
+            ),
+        ),
+    )
+    # Shape checks: monotone decline that levels off; merged wins by
+    # an order of magnitude in the (realistic) under-saturated regime —
+    # the largest sweep point deliberately saturates the cache, where the
+    # two schemes meet, so the comparison uses the quarter-saturation
+    # point the paper's "even for very large caches" claim refers to.
+    series = [u for _, u in unmerged]
+    assert series == sorted(series, reverse=True)
+    assert series[0] - series[1] > series[-2] - series[-1]
+    mid = len(cache_sizes) - 3  # saturation / 4
+    assert merged[mid] * 5 < series[mid]
+    # At full saturation the schemes meet (within a few percent: merging
+    # trades a handful of partial-block flushes for the tail misses).
+    assert merged[-1] <= series[-1] * 1.10 + 1e-9

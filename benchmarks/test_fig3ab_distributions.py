@@ -1,0 +1,51 @@
+"""FIG3A/FIG3B — Term-frequency and query-frequency distributions.
+
+Paper: Figures 3(a) and 3(b) (Section 3.3).  Both are Zipfian (straight
+lines on log-log axes); these are properties of the IBM workload that the
+synthetic generators must reproduce for every downstream figure to mean
+anything.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.simulate.report import format_table
+
+
+RANKS = [0, 9, 99, 499, 999, 4999, 9999]
+
+
+def _ranked_rows(ranked: np.ndarray):
+    return [(r + 1, int(ranked[r])) for r in RANKS if r < len(ranked)]
+
+
+def test_fig3a_term_frequencies(benchmark, workload, emit):
+    ranked = once(benchmark, lambda: workload.stats.tf_ranked())
+    emit(
+        "FIG3A",
+        format_table(
+            ["rank", "term frequency ti"],
+            _ranked_rows(ranked),
+            title="Figure 3(a): term-frequency distribution (Zipfian)",
+        ),
+    )
+    # Zipf shape: close to a power law across two decades of rank.
+    assert ranked[0] > 5 * ranked[99] > 0
+    log_drop_1 = np.log(ranked[0] / max(ranked[9], 1))
+    log_drop_2 = np.log(max(ranked[9], 1) / max(ranked[99], 1))
+    assert 0.2 < log_drop_1 / max(log_drop_2, 1e-9) < 5.0
+
+
+def test_fig3b_query_frequencies(benchmark, workload, emit):
+    ranked = once(benchmark, lambda: workload.stats.qf_ranked())
+    emit(
+        "FIG3B",
+        format_table(
+            ["rank", "query frequency qi"],
+            _ranked_rows(ranked),
+            title="Figure 3(b): query-frequency distribution (Zipfian)",
+        ),
+    )
+    assert ranked[0] > 5 * ranked[99]
+    # The Section 3.3 correlation both figures rest on.
+    assert workload.stats.rank_correlation() > 0.2

@@ -1,0 +1,51 @@
+"""FIG3D — Workload-cost ratio; popular *query* terms kept unmerged.
+
+Paper: Figure 3(d) (Section 3.4).  Curves for 0 / 1,000 / 10,000
+unmerged top-qi terms, remainder uniformly hash-merged into M = cache /
+8 KB lists.  Key observation: "even for modest cache sizes (128-256 MB),
+the workload cost with merging is almost as good as without merging",
+and the uniform ('0 term') curve is close to the popularity-aware ones
+at larger caches.
+
+Scaled: term counts are divided by ~30 along with the vocabulary.
+"""
+
+from conftest import once
+
+from repro.simulate.merge_sim import figure3d_to_3g
+from repro.simulate.report import format_table
+
+CACHE_SIZES = [1 << 22, 1 << 23, 1 << 24, 1 << 25, 1 << 26, 1 << 27, 1 << 28]
+UNMERGED_COUNTS = (0, 100, 1000)
+
+
+def test_fig3d_qf_unmerged(benchmark, workload, emit):
+    panel = once(
+        benchmark,
+        lambda: figure3d_to_3g(
+            workload.stats,
+            cache_sizes_bytes=CACHE_SIZES,
+            unmerged_counts=UNMERGED_COUNTS,
+            by="qi",
+        ),
+    )
+    rows = [
+        (size >> 20, *(round(dict(panel[c])[size], 3) for c in UNMERGED_COUNTS))
+        for size in CACHE_SIZES
+    ]
+    emit(
+        "FIG3D",
+        format_table(
+            ["cache_MB"] + [f"{c} terms" for c in UNMERGED_COUNTS],
+            rows,
+            title="Figure 3(d): Q ratio, popular QUERY terms not merged",
+        ),
+    )
+    for count in UNMERGED_COUNTS:
+        ratios = [r for _, r in panel[count]]
+        assert all(r >= 1.0 for r in ratios)
+        assert ratios[0] >= ratios[-1]
+        assert ratios[-1] < 1.15  # near-unmerged cost at modest caches
+    # Uniform merging is close to the best scheme at the largest cache.
+    best_final = min(dict(panel[c])[CACHE_SIZES[-1]] for c in UNMERGED_COUNTS)
+    assert dict(panel[0])[CACHE_SIZES[-1]] < best_final + 0.1

@@ -1,0 +1,44 @@
+"""FIG3E — Workload-cost ratio; popular *document* terms kept unmerged.
+
+Paper: Figure 3(e) (Section 3.4).  Same sweep as Figure 3(d) but the
+dedicated lists go to the top-ti terms.  Slightly less effective than
+ranking by query frequency (document-popular terms are not always the
+cost drivers — 'following'), but the qualitative picture is identical.
+"""
+
+from conftest import once
+
+from repro.simulate.merge_sim import figure3d_to_3g
+from repro.simulate.report import format_table
+
+CACHE_SIZES = [1 << 22, 1 << 23, 1 << 24, 1 << 25, 1 << 26, 1 << 27, 1 << 28]
+UNMERGED_COUNTS = (0, 100, 1000)
+
+
+def test_fig3e_tf_unmerged(benchmark, workload, emit):
+    panel = once(
+        benchmark,
+        lambda: figure3d_to_3g(
+            workload.stats,
+            cache_sizes_bytes=CACHE_SIZES,
+            unmerged_counts=UNMERGED_COUNTS,
+            by="ti",
+        ),
+    )
+    rows = [
+        (size >> 20, *(round(dict(panel[c])[size], 3) for c in UNMERGED_COUNTS))
+        for size in CACHE_SIZES
+    ]
+    emit(
+        "FIG3E",
+        format_table(
+            ["cache_MB"] + [f"{c} terms" for c in UNMERGED_COUNTS],
+            rows,
+            title="Figure 3(e): Q ratio, popular DOCUMENT terms not merged",
+        ),
+    )
+    for count in UNMERGED_COUNTS:
+        ratios = [r for _, r in panel[count]]
+        assert all(r >= 1.0 for r in ratios)
+        assert ratios[0] >= ratios[-1]
+        assert ratios[-1] < 1.15

@@ -1,0 +1,87 @@
+"""FIG3F/FIG3G — Merging decisions from statistics learned on a prefix.
+
+Paper: Figures 3(f) and 3(g) (Sections 3.3-3.4).  "We computed the most
+popular terms for the first 10% of the documents crawled and the first
+10% of the queries submitted, and used those statistics to make merging
+decisions for the entire index" — the resulting cost ratio is almost
+unchanged from the true-statistics Figures 3(d)/3(e), establishing that
+the frequencies are stable enough to learn (the epoch scheme's premise).
+"""
+
+from conftest import once
+
+from repro.core.epochs import prefix_query_frequencies, prefix_term_frequencies
+from repro.simulate.merge_sim import cost_ratio_sweep
+from repro.simulate.report import format_table
+from repro.workloads.stats import WorkloadStats
+
+CACHE_SIZES = [1 << 22, 1 << 23, 1 << 24, 1 << 25, 1 << 26, 1 << 27]
+UNMERGED = 300
+LEARN_FRACTION = 0.10
+
+
+def _panel(workload, by, learned_stats):
+    true_series = cost_ratio_sweep(
+        workload.stats,
+        cache_sizes_bytes=CACHE_SIZES,
+        unmerged_terms=UNMERGED,
+        by=by,
+    )
+    learned_series = cost_ratio_sweep(
+        workload.stats,
+        cache_sizes_bytes=CACHE_SIZES,
+        unmerged_terms=UNMERGED,
+        by=by,
+        learned_stats=learned_stats,
+    )
+    return true_series, learned_series
+
+
+def test_fig3f_learned_query_stats(benchmark, workload, emit):
+    def run():
+        learned = WorkloadStats(
+            ti=workload.stats.ti,  # qi is what 3(f) learns
+            qi=prefix_query_frequencies(workload.query_log, LEARN_FRACTION),
+        )
+        return _panel(workload, "qi", learned)
+
+    true_series, learned_series = once(benchmark, run)
+    rows = [
+        (size >> 20, round(t, 3), round(l, 3))
+        for (size, t), (_, l) in zip(true_series, learned_series)
+    ]
+    emit(
+        "FIG3F",
+        format_table(
+            ["cache_MB", "true qi stats", "learned from 10%"],
+            rows,
+            title=f"Figure 3(f): learning qi ({UNMERGED} unmerged terms)",
+        ),
+    )
+    for (_, t), (_, l) in zip(true_series, learned_series):
+        assert abs(l - t) < max(0.3, 0.3 * t)
+
+
+def test_fig3g_learned_document_stats(benchmark, workload, emit):
+    def run():
+        learned = WorkloadStats(
+            ti=prefix_term_frequencies(workload.corpus, LEARN_FRACTION),
+            qi=workload.stats.qi,
+        )
+        return _panel(workload, "ti", learned)
+
+    true_series, learned_series = once(benchmark, run)
+    rows = [
+        (size >> 20, round(t, 3), round(l, 3))
+        for (size, t), (_, l) in zip(true_series, learned_series)
+    ]
+    emit(
+        "FIG3G",
+        format_table(
+            ["cache_MB", "true ti stats", "learned from 10%"],
+            rows,
+            title=f"Figure 3(g): learning ti ({UNMERGED} unmerged terms)",
+        ),
+    )
+    for (_, t), (_, l) in zip(true_series, learned_series):
+        assert abs(l - t) < max(0.3, 0.3 * t)

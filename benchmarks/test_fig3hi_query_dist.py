@@ -1,0 +1,71 @@
+"""FIG3H/FIG3I — Per-query cost distributions under uniform merging.
+
+Paper: Figures 3(h) and 3(i) (Section 3.4).  Merging "slows down the
+shortest queries the most ... while the long running queries are
+comparatively unaffected": the cumulative cost distribution's cheap end
+shifts right (3(h)), and slowdown against cost percentile falls from ~4x
+for the cheapest 20% to no visible slowdown for the longest-running half
+(3(i), 512 MB cache).
+"""
+
+from conftest import once
+
+from repro.simulate.merge_sim import figure3h, figure3i
+from repro.simulate.report import format_table
+
+CACHE_SIZES = [1 << 22, 1 << 23, 1 << 26]
+PERCENTILES = list(range(0, 100, 10))
+
+
+def test_fig3h_cumulative_query_cost(benchmark, workload, emit):
+    queries = [q.term_ids for q in workload.queries]
+    dist = once(
+        benchmark,
+        lambda: figure3h(queries, workload.stats, cache_sizes_bytes=CACHE_SIZES),
+    )
+    labels = list(dist.sorted_costs)
+    rows = [
+        (pct, *(round(dist.percentile(label, pct), 0) for label in labels))
+        for pct in (10, 30, 50, 70, 90, 99)
+    ]
+    emit(
+        "FIG3H",
+        format_table(
+            ["percentile"] + labels,
+            rows,
+            title="Figure 3(h): per-query cost (posting scans) at percentiles",
+        ),
+    )
+    # Cheap queries inflate under small caches; the expensive tail holds.
+    small_cache = f"{CACHE_SIZES[0] >> 20} MB"
+    assert dist.percentile(small_cache, 10) >= dist.percentile("unmerged", 10)
+    assert dist.percentile(small_cache, 99) <= dist.percentile("unmerged", 99) * 5
+
+
+def test_fig3i_slowdown_by_percentile(benchmark, workload, emit):
+    queries = [q.term_ids for q in workload.queries]
+    series = once(
+        benchmark,
+        lambda: figure3i(
+            queries,
+            workload.stats,
+            cache_size_bytes=CACHE_SIZES[-1],
+            percentiles=PERCENTILES,
+        ),
+    )
+    emit(
+        "FIG3I",
+        format_table(
+            ["cost percentile", "mean slowdown"],
+            [(p, round(s, 2)) for p, s in series],
+            title=(
+                "Figure 3(i): query slowdown vs cost percentile "
+                f"({CACHE_SIZES[-1] >> 20} MB cache)"
+            ),
+        ),
+    )
+    slowdowns = dict(series)
+    # Cheapest decile suffers most; longest-running half is untouched.
+    assert slowdowns[0] >= slowdowns[50] >= 1.0
+    assert slowdowns[50] < 1.5
+    assert slowdowns[90] < 1.25

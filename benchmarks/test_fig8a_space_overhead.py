@@ -1,0 +1,52 @@
+"""FIG8A — Space overhead of the jump index.
+
+Paper: Figure 8(a) (Section 4.5).  Analytic, at the paper's exact
+parameters (N = 2^32, 4-byte pointers, 8-byte postings): overhead =
+pointer bytes / posting bytes per block, for B in {2..128} and L in
+{4, 8, 16, 32} KB.  Reference point: "For B = 32 and L = 8 KB, a jump
+[index] adds 11% space overhead."
+
+This benchmark reproduces the paper's numbers exactly (no scaling).
+"""
+
+from conftest import once
+
+from repro.core.space import disjunctive_slowdown, space_overhead
+from repro.simulate.report import format_table
+
+BRANCHINGS = [2, 4, 8, 16, 32, 64, 128]
+BLOCK_SIZES = [4096, 8192, 16384, 32768]
+
+
+def test_fig8a_space_overhead(benchmark, emit):
+    def run():
+        return {
+            (block, b): space_overhead(block, b)
+            for block in BLOCK_SIZES
+            for b in BRANCHINGS
+        }
+
+    table = once(benchmark, run)
+    rows = [
+        (b, *(round(100 * table[(block, b)], 1) for block in BLOCK_SIZES))
+        for b in BRANCHINGS
+    ]
+    emit(
+        "FIG8A",
+        format_table(
+            ["B"] + [f"L={block // 1024}K %" for block in BLOCK_SIZES],
+            rows,
+            title="Figure 8(a): jump-index space overhead (N=2^32)",
+        ),
+    )
+    # The paper's quoted reference points.
+    assert 0.10 < table[(8192, 32)] < 0.13          # "11% for B=32, L=8K"
+    assert 0.013 < table[(8192, 2)] < 0.017         # "1.5% for B=2"
+    assert disjunctive_slowdown(8192, 32) == table[(8192, 32)]
+    # Monotone in B at fixed L; monotone decreasing in L at fixed B.
+    for block in BLOCK_SIZES:
+        col = [table[(block, b)] for b in BRANCHINGS]
+        assert col == sorted(col)
+    for b in BRANCHINGS:
+        row = [table[(block, b)] for block in BLOCK_SIZES]
+        assert row == sorted(row, reverse=True)

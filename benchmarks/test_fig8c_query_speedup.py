@@ -1,0 +1,71 @@
+"""FIG8C — Conjunctive query speedup vs number of keywords.
+
+Paper: Figure 8(c) (Section 4.5).  Speedup = blocks read by a
+scan-merge join over merged lists (no jump index) / blocks read by a
+zigzag join, for B in {2, 32, 64}, plus the "unmerged + per-list B+
+tree" ideal.  Shape: ~10% *slowdown* at 2 keywords (jump-pointer space
+overhead; equal-size merged lists make the join a scan), rising smoothly
+to ~3x at 7 keywords; the ideal is faster still, with jump indexes
+"within a factor of 1.4 of the theoretical maximum" at the paper's
+scale.
+"""
+
+from conftest import once
+
+from repro.simulate.jump_sim import query_speedup_sweep
+from repro.simulate.report import format_table
+
+NUM_LISTS = 16
+BLOCK_SIZE = 4096
+MAX_DOC_BITS = 16
+BRANCHINGS = (2, 32, 64)
+TERM_COUNTS = (2, 3, 4, 5, 6, 7)
+QUERIES_PER_COUNT = 12
+
+
+def test_fig8c_query_speedup(benchmark, workload, emit):
+    queries = {
+        n: workload.queries_with_terms(n, limit=QUERIES_PER_COUNT)
+        for n in TERM_COUNTS
+    }
+
+    def run():
+        return query_speedup_sweep(
+            workload.documents,
+            queries,
+            workload.stats.ti,
+            num_lists=NUM_LISTS,
+            branchings=BRANCHINGS,
+            block_size=BLOCK_SIZE,
+            max_doc_bits=MAX_DOC_BITS,
+        )
+
+    result = once(benchmark, run)
+    labels = [f"B={b}" for b in BRANCHINGS] + ["unmerged"]
+    rows = [
+        (n, *(round(dict(result.series[label])[n], 2) for label in labels))
+        for n in TERM_COUNTS
+    ]
+    emit(
+        "FIG8C",
+        format_table(
+            ["terms in query"] + labels,
+            rows,
+            title=(
+                "Figure 8(c): conjunctive query speedup over scan-merge "
+                f"({NUM_LISTS} merged lists, {BLOCK_SIZE} B blocks)"
+            ),
+        ),
+    )
+    for b in BRANCHINGS:
+        speedups = dict(result.series[f"B={b}"])
+        # Rising with keyword count; crossover near 2 keywords.
+        assert speedups[7] > speedups[2]
+        assert speedups[7] > 1.5
+        assert speedups[2] < 1.3
+    # The paper's 2-keyword slowdown appears for the high-overhead Bs.
+    assert dict(result.series["B=64"])[2] < 1.05
+    # The unmerged ideal dominates every jump-index configuration.
+    for n in TERM_COUNTS:
+        ideal = dict(result.series["unmerged"])[n]
+        assert all(ideal >= dict(result.series[f"B={b}"])[n] for b in BRANCHINGS)

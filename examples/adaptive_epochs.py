@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Epoch adaptation live: the engine re-tunes itself as interest drifts.
+
+Section 3.3's contingency plan, running end to end: a workload whose hot
+query terms rotate (news cycles over a stable document base) is fed
+through an :class:`~repro.search.epoched.EpochedSearchEngine`. At every
+epoch boundary the engine
+
+* learns the previous epoch's most-queried terms and gives them
+  dedicated (unmerged) posting lists, and
+* re-decides whether the observed query mix justifies jump indexes
+  (Section 4.5's rule).
+
+Run:  python examples/adaptive_epochs.py
+"""
+
+from repro import EngineConfig, EpochPolicy, EpochedSearchEngine
+from repro.workloads.drift import DriftConfig, DriftingWorkload
+from repro.workloads.vocabulary import Vocabulary
+
+VOCAB = 400
+DOCS_PER_EPOCH = 40
+
+
+def main() -> None:
+    drift = DriftingWorkload(
+        DriftConfig(
+            vocabulary_size=VOCAB,
+            num_epochs=3,
+            queries_per_epoch=80,
+            hot_pool_size=48,
+            drift_stride=16,
+            terms_per_query=4,  # conjunctive-heavy: jump indexes pay off
+            seed=3,
+        )
+    )
+    vocabulary = Vocabulary(VOCAB)
+    engine = EpochedSearchEngine(
+        EngineConfig(num_lists=32, branching=8, block_size=512),
+        policy=EpochPolicy(
+            docs_per_epoch=DOCS_PER_EPOCH,
+            unmerged_popular_terms=8,
+            conjunctive_share_for_jump=0.3,
+            min_terms_for_jump=3,
+        ),
+    )
+
+    for epoch in drift.epochs():
+        print(f"== epoch {epoch.epoch_no} ==")
+        hot = [int(t) for t in epoch.qi.argsort()[::-1][:8]]
+        hot_words = vocabulary.words(hot)
+        print(f"  hot terms this epoch: {hot_words[:5]} ...")
+        # Ingest documents built around the epoch's hot topics.
+        for i in range(DOCS_PER_EPOCH):
+            words = {hot_words[j % len(hot_words)] for j in range(i, i + 3)}
+            engine.index_document(" ".join(sorted(words)))
+        # The engine observes the epoch's queries (it cannot see the
+        # generator's statistics — only what users actually ask).
+        for query in epoch.queries:
+            engine.search(" ".join(vocabulary.words(query.term_ids)))
+        state = engine.current
+        print(
+            f"  ingested {state.doc_count} docs, observed "
+            f"{state.total_queries} queries "
+            f"({state.many_keyword_queries} many-keyword)"
+        )
+        if epoch.epoch_no < 2:
+            engine.new_epoch()
+            new = engine.current
+            merge = type(new.engine._merge).__name__
+            jump = (
+                f"B={new.engine.config.branching}"
+                if new.uses_jump_index
+                else "disabled"
+            )
+            print(
+                f"  -> opened epoch {new.epoch_no}: merge={merge}, "
+                f"jump index {jump}"
+            )
+
+    print("\n== cross-epoch query ==")
+    sample_word = vocabulary.word(0)
+    hits = engine.search(sample_word, top_k=100)
+    epochs_hit = {
+        next(
+            e.epoch_no
+            for e in engine.epochs
+            if e.doc_count and e.first_doc_id <= r.doc_id <= e.last_doc_id
+        )
+        for r in hits
+    }
+    print(
+        f"  '{sample_word}': {len(hits)} documents across epochs "
+        f"{sorted(epochs_hit)} — one query, every era of the archive"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: trustworthy keyword search in a dozen lines.
+
+Commits a handful of business records to (simulated) WORM storage,
+indexing each one *in the same call* — there is no window in which an
+insider can lose an index entry — then runs ranked, conjunctive, and
+time-constrained searches over them.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EngineConfig, TrustworthySearchEngine
+
+
+def main() -> None:
+    engine = TrustworthySearchEngine(EngineConfig(num_lists=64, branching=32))
+
+    records = [
+        "quarterly revenue report for the finance committee",
+        "imclone trading memo prepared for stewart and waksal",
+        "meeting notes about imclone drug development trial",
+        "budget planning schedule for the storage team",
+        "stewart waksal imclone november trading summary",
+        "records retention policy update for compliance audit",
+    ]
+    for text in records:
+        doc_id = engine.index_document(text)
+        print(f"committed record {doc_id}: {text[:48]}...")
+
+    print("\nranked search for 'imclone trading':")
+    for hit in engine.search("imclone trading"):
+        print(f"  doc {hit.doc_id}  score {hit.score:.2f}")
+
+    print("\nconjunctive search '+stewart +waksal +imclone':")
+    for hit in engine.search("+stewart +waksal +imclone"):
+        print(f"  doc {hit.doc_id}  score {hit.score:.2f}")
+
+    # Commit times here are the engine's ingest counter (0, 1, 2, ...);
+    # production deployments pass real timestamps to index_document.
+    print("\ntime-constrained search 'imclone @0..2' (first three commits):")
+    for hit in engine.search("imclone @0..2"):
+        print(f"  doc {hit.doc_id}  score {hit.score:.2f}")
+
+    # Every result can be verified against the WORM-resident documents —
+    # the countermeasure against posting-list stuffing.
+    results = engine.search("imclone", verify=True)
+    print(f"\nverified {len(results)} results against WORM documents: clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e .`` to fall back to a setuptools ``develop``
+install in offline environments that lack the ``wheel`` package needed by
+the PEP 517 editable build path.  All project metadata lives in
+``pyproject.toml``; this file intentionally contains no configuration.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""The buffered-update index the paper rules out (Section 2.3).
+
+Prior art amortizes posting-list update I/O by buffering ⟨keyword,
+doc ID⟩ pairs in memory or on rewritable disk and merging them into the
+real index in large batches — effective only with huge buffers (the paper
+cites needing >100,000 buffered documents for 2 docs/sec on a 20 GB
+collection, i.e. a half-day window between commit and index update).
+
+For *trustworthy* indexing that window is fatal: "Mala can get rid of an
+index entry while it is still in the buffer, or crash the application and
+delete the recovery logs of uncommitted posting entries."
+
+:class:`BufferedInvertedIndex` implements the scheme so the attack is
+demonstrable: postings sit in process memory until ``flush_threshold``
+documents accumulate, and :meth:`crash_and_wipe_buffer` is Mala crashing
+the application — everything unflushed is gone, silently.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.posting_list import PostingList
+from repro.worm.storage import CachedWormStore
+
+
+class BufferedInvertedIndex:
+    """Batch-updated inverted index with an in-memory posting buffer.
+
+    Parameters
+    ----------
+    store:
+        WORM store for the flushed posting lists (one list per term).
+    flush_threshold:
+        Documents buffered before an automatic flush.
+    """
+
+    def __init__(self, store: CachedWormStore, *, flush_threshold: int = 1000):
+        self.store = store
+        self.flush_threshold = flush_threshold
+        self._buffer: List[Tuple[int, int]] = []  # (term_id, doc_id) log
+        self._buffered_docs = 0
+        self._lists: Dict[int, PostingList] = {}
+        self.flushes = 0
+
+    def add_document(self, doc_id: int, term_ids: Iterable[int]) -> None:
+        """Buffer one document's postings; flush on threshold."""
+        for term in set(int(t) for t in term_ids):
+            self._buffer.append((term, doc_id))
+        self._buffered_docs += 1
+        if self._buffered_docs >= self.flush_threshold:
+            self.flush()
+
+    def flush(self) -> None:
+        """Sort the buffered log by term and merge into the WORM lists."""
+        by_term: Dict[int, List[int]] = defaultdict(list)
+        for term, doc_id in self._buffer:
+            by_term[term].append(doc_id)
+        for term in sorted(by_term):
+            posting_list = self._lists.get(term)
+            if posting_list is None:
+                posting_list = PostingList(self.store, f"buffered/pl/{term:08d}")
+                self._lists[term] = posting_list
+            for doc_id in sorted(by_term[term]):
+                posting_list.append(doc_id)
+        self._buffer.clear()
+        self._buffered_docs = 0
+        self.flushes += 1
+
+    @property
+    def buffered_documents(self) -> int:
+        """Documents whose postings exist only in volatile memory."""
+        return self._buffered_docs
+
+    def crash_and_wipe_buffer(self) -> int:
+        """Mala crashes the indexer and deletes its recovery state.
+
+        Returns the number of documents whose index entries are lost.
+        The documents themselves are still on WORM — but without index
+        entries they are, "for all practical purposes, hidden".
+        """
+        lost = self._buffered_docs
+        self._buffer.clear()
+        self._buffered_docs = 0
+        return lost
+
+    def lookup(self, term_id: int) -> List[int]:
+        """Doc IDs indexed for ``term_id`` — flushed postings only.
+
+        (A real system would also search the buffer; after Mala's crash
+        there is no buffer left to search, which is the point.)
+        """
+        posting_list = self._lists.get(int(term_id))
+        if posting_list is None:
+            return []
+        return posting_list.doc_ids()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BufferedInvertedIndex(buffered={self._buffered_docs}, "
+            f"flushes={self.flushes})"
+        )

@@ -1,0 +1,332 @@
+"""Command-line interface: a compliance archive in a single journal file.
+
+Usage (also available as ``python -m repro``)::
+
+    repro-search init    --archive records.worm [--num-lists N]
+                         [--branching B] [--retention PERIOD]
+    repro-search index   --archive records.worm --text "..." [--text "..."]
+    repro-search index   --archive records.worm file1.txt file2.txt
+    repro-search search  --archive records.worm "stewart waksal" [--top-k K]
+                         [--verify]
+    repro-search audit   --archive records.worm
+    repro-search stats   --archive records.worm
+    repro-search profile --archive records.worm "+a +b +c" --query-file log.txt
+    repro-search dispose --archive records.worm --now TIME
+
+The archive is one append-only journal file holding the entire WORM
+device: documents, posting lists, jump pointers, commit-time log,
+incident and disposition logs.  The engine configuration is committed
+into the archive at ``init`` time (it shapes committed state, so it must
+not drift between sessions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError, TamperDetectedError
+from repro.search.engine import EngineConfig, TrustworthySearchEngine
+from repro.worm.persistent import JournaledWormDevice
+from repro.worm.storage import CachedWormStore
+
+_CONFIG_FILE = "archive/config"
+
+
+def _write_config(store: CachedWormStore, config: EngineConfig) -> None:
+    payload = json.dumps(
+        {
+            "num_lists": config.num_lists,
+            "block_size": config.block_size,
+            "branching": config.branching,
+            "ranking": config.ranking,
+            "retention_period": config.retention_period,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    store.create_file(_CONFIG_FILE).append_record(payload)
+
+
+def _read_config(store: CachedWormStore) -> EngineConfig:
+    worm_file = store.open_file(_CONFIG_FILE)
+    payload = b"".join(
+        store.peek_block(_CONFIG_FILE, b) for b in range(worm_file.num_blocks)
+    )
+    data = json.loads(payload.decode("utf-8"))
+    return EngineConfig(
+        num_lists=data["num_lists"],
+        block_size=data["block_size"],
+        branching=data["branching"],
+        ranking=data["ranking"],
+        retention_period=data["retention_period"],
+    )
+
+
+def open_archive(path: str, *, create: Optional[EngineConfig] = None):
+    """Open (or with ``create``, initialize) an archive at ``path``.
+
+    Returns ``(engine, device)``; close the device when done.
+    """
+    device = JournaledWormDevice(path)
+    store = CachedWormStore(None, device=device)
+    if create is not None:
+        if device.exists(_CONFIG_FILE):
+            raise ReproError(f"archive '{path}' is already initialized")
+        _write_config(store, create)
+        config = create
+    else:
+        if not device.exists(_CONFIG_FILE):
+            raise ReproError(
+                f"'{path}' is not an initialized archive (run 'init' first)"
+            )
+        config = _read_config(store)
+    engine = TrustworthySearchEngine(config, store=store)
+    return engine, device
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_init(args) -> int:
+    config = EngineConfig(
+        num_lists=args.num_lists,
+        block_size=args.block_size,
+        branching=args.branching,
+        retention_period=args.retention,
+    )
+    engine, device = open_archive(args.archive, create=config)
+    device.close()
+    jump = f"B={config.branching}" if config.branching else "disabled"
+    print(
+        f"initialized archive '{args.archive}': {config.num_lists} merged "
+        f"lists, {config.block_size} B blocks, jump index {jump}, "
+        f"retention {config.retention_period or 'forever'}"
+    )
+    return 0
+
+
+def _cmd_index(args) -> int:
+    engine, device = open_archive(args.archive)
+    try:
+        texts: List[str] = list(args.text or [])
+        for file_name in args.files:
+            with open(file_name, "r", encoding="utf-8") as handle:
+                texts.append(handle.read())
+        if not texts:
+            print("nothing to index: pass --text or file paths", file=sys.stderr)
+            return 2
+        for text in texts:
+            doc_id = engine.index_document(text, commit_time=args.commit_time)
+            preview = " ".join(text.split())[:60]
+            print(f"committed doc {doc_id}: {preview}")
+        return 0
+    finally:
+        device.close()
+
+
+def _cmd_search(args) -> int:
+    engine, device = open_archive(args.archive)
+    try:
+        try:
+            if args.verify:
+                results, report = engine.search_with_incident_handling(
+                    args.query, top_k=args.top_k
+                )
+                if not report.ok:
+                    print(
+                        f"WARNING: tampering detected and handled "
+                        f"({len(report.violations)} violations logged)",
+                        file=sys.stderr,
+                    )
+            else:
+                results = engine.search(args.query, top_k=args.top_k)
+        except TamperDetectedError as exc:
+            print(f"TAMPERING DETECTED: {exc}", file=sys.stderr)
+            return 3
+        if not results:
+            print("no results")
+            return 0
+        for hit in results:
+            doc = engine.documents.get(hit.doc_id)
+            preview = " ".join(doc.text.split())[:70]
+            print(f"doc {hit.doc_id}  score {hit.score:6.2f}  t={doc.commit_time}  {preview}")
+        return 0
+    finally:
+        device.close()
+
+
+def _cmd_audit(args) -> int:
+    from repro.adversary.detection import full_engine_audit
+
+    engine, device = open_archive(args.archive)
+    try:
+        reports = full_engine_audit(engine)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(
+                    [r.to_dict() for r in reports], handle, indent=2
+                )
+            print(f"wrote {len(reports)} audit reports to {args.json}")
+        bad = [r for r in reports if not r.ok]
+        checked = sum(r.entries_checked for r in reports)
+        print(
+            f"audited {len(reports)} subjects ({checked} entries): "
+            f"{len(bad)} with violations"
+        )
+        for report in bad:
+            print(f"  {report.subject}:")
+            for violation in report.violations:
+                print(f"    - {violation}")
+        incident_count = len(engine.incidents)
+        if incident_count:
+            print(f"incident log: {incident_count} recorded incidents")
+            for incident in engine.incidents.incidents():
+                print(
+                    f"  #{incident.seq} [{incident.kind}] {incident.location} "
+                    f"quarantined={list(incident.quarantined_doc_ids)}"
+                )
+        return 1 if bad else 0
+    finally:
+        device.close()
+
+
+def _cmd_stats(args) -> int:
+    engine, device = open_archive(args.archive)
+    try:
+        stats = engine.archive_stats()
+        width = max(len(k) for k in stats)
+        for key, value in stats.items():
+            print(f"{key.rjust(width)}  {value}")
+        return 0
+    finally:
+        device.close()
+
+
+def _cmd_profile(args) -> int:
+    from repro.search.profiling import profile_query, recommend_configuration
+
+    engine, device = open_archive(args.archive)
+    try:
+        queries: List[str] = list(args.query or [])
+        if args.query_file:
+            with open(args.query_file, "r", encoding="utf-8") as handle:
+                queries.extend(
+                    line.strip() for line in handle if line.strip()
+                )
+        if not queries:
+            print("nothing to profile: pass queries or --query-file", file=sys.stderr)
+            return 2
+        profiles = []
+        for raw in queries:
+            profile = profile_query(engine, raw)
+            profiles.append(profile)
+            print(profile.summary())
+        print()
+        print(recommend_configuration(profiles))
+        return 0
+    finally:
+        device.close()
+
+
+def _cmd_dispose(args) -> int:
+    engine, device = open_archive(args.archive)
+    try:
+        disposed = engine.dispose_expired(now=args.now)
+        if disposed:
+            print(f"disposed {len(disposed)} expired documents: {disposed}")
+        else:
+            print("nothing past its retention horizon")
+        return 0
+    finally:
+        device.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-search",
+        description="Trustworthy keyword search over a WORM archive",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    init = sub.add_parser("init", help="initialize a new archive")
+    init.add_argument("--archive", required=True, help="journal file path")
+    init.add_argument("--num-lists", type=int, default=1024)
+    init.add_argument("--block-size", type=int, default=8192)
+    init.add_argument(
+        "--branching", type=int, default=32,
+        help="jump-index branching factor; 0 disables jump indexes",
+    )
+    init.add_argument(
+        "--retention", type=int, default=None,
+        help="retention period in commit-time units (default: forever)",
+    )
+    init.set_defaults(func=_cmd_init)
+
+    index = sub.add_parser("index", help="commit and index documents")
+    index.add_argument("--archive", required=True)
+    index.add_argument("--text", action="append", help="inline document text")
+    index.add_argument("files", nargs="*", help="text files to commit")
+    index.add_argument(
+        "--commit-time", type=int, default=None,
+        help="explicit commit timestamp (default: engine clock)",
+    )
+    index.set_defaults(func=_cmd_index)
+
+    search = sub.add_parser("search", help="query the archive")
+    search.add_argument("--archive", required=True)
+    search.add_argument("query", help="keywords; '+a +b' = conjunctive; '@t1..t2' = time range")
+    search.add_argument("--top-k", type=int, default=10)
+    search.add_argument(
+        "--verify", action="store_true",
+        help="verify results against WORM documents; quarantine stuffing",
+    )
+    search.set_defaults(func=_cmd_search)
+
+    audit = sub.add_parser("audit", help="full tamper audit of the archive")
+    audit.add_argument("--archive", required=True)
+    audit.add_argument(
+        "--json", help="also write the reports to a JSON case file"
+    )
+    audit.set_defaults(func=_cmd_audit)
+
+    stats = sub.add_parser("stats", help="operational archive summary")
+    stats.add_argument("--archive", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    profile = sub.add_parser(
+        "profile", help="measure query costs and recommend a configuration"
+    )
+    profile.add_argument("--archive", required=True)
+    profile.add_argument("query", nargs="*", help="queries to profile")
+    profile.add_argument(
+        "--query-file", help="file with one query per line (e.g. a query log)"
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    dispose = sub.add_parser(
+        "dispose", help="dispose of documents past their retention horizon"
+    )
+    dispose.add_argument("--archive", required=True)
+    dispose.add_argument("--now", type=int, required=True, help="current time")
+    dispose.set_defaults(func=_cmd_dispose)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "branching", None) == 0:
+        args.branching = None
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    sys.exit(main())

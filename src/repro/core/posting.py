@@ -1,0 +1,131 @@
+"""Fixed-width posting encodings for merged posting lists.
+
+A posting is one ``(document ID, term code)`` pair.  The paper budgets
+"500 8-byte postings per document" (Section 2.3), so the canonical
+encoding here is 8 bytes: a 4-byte document ID (the paper sizes N at
+2^32, Section 4.5) plus a 4-byte term code.
+
+The term code exists because of merging (Figure 1(b)): once several terms
+share a posting list, "we must store (an encoding of) the keyword with
+each entry in a merged list" to filter false positives.  The paper notes
+the code needs only ``log2(q)`` bits for ``q`` merged terms (less with
+Huffman coding) and excludes that refinement from its analysis; we do the
+same, storing a fixed-width code and exposing the bit-count model in
+:func:`term_code_bits` for the space discussion.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+
+from repro.errors import IndexError_
+
+#: Size of one encoded posting in bytes (4-byte doc ID + 4-byte term code).
+POSTING_SIZE = 8
+
+#: Largest encodable document ID (N = 2^32, Section 4.5).
+MAX_DOC_ID = 2**32 - 1
+
+#: Largest encodable term code.
+MAX_TERM_CODE = 2**32 - 1
+
+_STRUCT = struct.Struct("<II")
+
+
+@dataclass(frozen=True, order=True)
+class Posting:
+    """One decoded posting list entry.
+
+    Ordering is by ``(doc_id, term_code)`` so sorted runs of postings sort
+    primarily by document ID, the invariant every index here relies on.
+    """
+
+    doc_id: int
+    term_code: int
+
+
+def encode_posting(doc_id: int, term_code: int) -> bytes:
+    """Encode a posting as :data:`POSTING_SIZE` little-endian bytes.
+
+    Raises
+    ------
+    IndexError_
+        If either field is out of its 32-bit range.
+    """
+    if not 0 <= doc_id <= MAX_DOC_ID:
+        raise IndexError_(f"doc_id {doc_id} out of range [0, {MAX_DOC_ID}]")
+    if not 0 <= term_code <= MAX_TERM_CODE:
+        raise IndexError_(f"term_code {term_code} out of range [0, {MAX_TERM_CODE}]")
+    return _STRUCT.pack(doc_id, term_code)
+
+
+def decode_posting(payload: bytes, offset: int = 0) -> Posting:
+    """Decode one posting from ``payload`` at ``offset``."""
+    doc_id, term_code = _STRUCT.unpack_from(payload, offset)
+    return Posting(doc_id, term_code)
+
+
+def decode_postings(payload: bytes):
+    """Decode a whole block's worth of postings into a list.
+
+    ``payload`` must be a multiple of :data:`POSTING_SIZE` bytes long —
+    posting lists never split an entry across blocks.
+    """
+    if len(payload) % POSTING_SIZE:
+        raise IndexError_(
+            f"posting region of {len(payload)} bytes is not a multiple of "
+            f"{POSTING_SIZE}"
+        )
+    return [Posting(d, t) for d, t in _STRUCT.iter_unpack(payload)]
+
+
+#: Largest term ID representable when frequency metadata shares the code
+#: field (24 bits of term ID + 8 bits of capped frequency).
+MAX_TERM_ID_WITH_TF = 2**24 - 1
+
+#: Largest within-document frequency stored in the metadata byte.
+MAX_PACKED_TF = 255
+
+
+def pack_term_tf(term_id: int, tf: int) -> int:
+    """Pack a term ID and its within-document frequency into one code.
+
+    The paper's postings carry "additional metadata such as keyword
+    frequency" alongside the document ID; this keeps the 8-byte posting
+    budget by packing a saturating 8-bit frequency into the code field's
+    high byte (term IDs then live in 24 bits — 16.7M terms, ample for
+    the paper's >1M-term vocabulary).
+    """
+    if not 0 <= term_id <= MAX_TERM_ID_WITH_TF:
+        raise IndexError_(
+            f"term_id {term_id} out of packed range [0, {MAX_TERM_ID_WITH_TF}]"
+        )
+    if tf < 1:
+        raise IndexError_(f"tf must be >= 1, got {tf}")
+    return term_id | (min(tf, MAX_PACKED_TF) << 24)
+
+
+def unpack_term_tf(code: int) -> "tuple[int, int]":
+    """Inverse of :func:`pack_term_tf`: ``(term_id, tf)``.
+
+    Codes written without packing (tf byte zero) decode as ``tf = 1`` so
+    that mixed-era posting lists stay readable.
+    """
+    term_id = code & MAX_TERM_ID_WITH_TF
+    tf = code >> 24
+    return term_id, max(1, tf)
+
+
+def term_code_bits(terms_merged: int) -> int:
+    """Bits needed to disambiguate ``terms_merged`` terms in one list.
+
+    The paper's ``log(q)``-bit model (Section 3).  Returns 0 for unmerged
+    (single-term) lists, which need no code at all.
+    """
+    if terms_merged <= 0:
+        raise IndexError_(f"terms_merged must be positive, got {terms_merged}")
+    if terms_merged == 1:
+        return 0
+    return math.ceil(math.log2(terms_merged))

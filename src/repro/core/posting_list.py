@@ -1,0 +1,374 @@
+"""Append-only block-structured posting lists on WORM storage.
+
+A :class:`PostingList` is the durable unit of the trustworthy inverted
+index: one WORM file of fixed-size blocks, each holding up to ``p``
+encoded postings (plus optional write-once jump-pointer slots managed by
+:class:`~repro.core.block_jump_index.BlockJumpIndex`).
+
+Invariants enforced on the write path (honest writers):
+
+* document IDs are appended in **non-decreasing** order — strictly
+  increasing per term, but a merged list legitimately carries one entry
+  per (document, term) pair, so equal consecutive IDs with different term
+  codes occur;
+* entries are never modified or removed (WORM semantics, enforced a layer
+  below by the device).
+
+Read-path bookkeeping: every block load is counted both in the storage
+cache (insert-path experiments) and in a per-list / per-cursor counter
+(query-path experiments, where the paper reports raw "blocks read").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.errors import DocumentIdOrderError, IndexError_, TamperDetectedError
+from repro.core.posting import (
+    MAX_TERM_ID_WITH_TF,
+    POSTING_SIZE,
+    Posting,
+    decode_postings,
+    encode_posting,
+)
+from repro.worm.storage import CachedWormStore
+
+
+class PostingList:
+    """One append-only posting list in a WORM file.
+
+    Parameters
+    ----------
+    store:
+        The cached WORM store holding the list.
+    name:
+        WORM file name (unique per list, e.g. ``"pl/00042"``).
+    entries_per_block:
+        Cap ``p`` on postings per block.  Defaults to the raw block
+        capacity; jump-indexed lists pass a smaller value so the block
+        also fits its pointer slots (Section 4.5's ``8p + 4(B-1)log_B(N)
+        <= L`` budget).
+    slot_count:
+        Write-once pointer slots reserved per block (0 when no jump index
+        is attached).
+    """
+
+    def __init__(
+        self,
+        store: CachedWormStore,
+        name: str,
+        *,
+        entries_per_block: Optional[int] = None,
+        slot_count: int = 0,
+    ):
+        max_entries = store.block_size // POSTING_SIZE
+        if entries_per_block is None:
+            entries_per_block = max_entries
+        if not 0 < entries_per_block <= max_entries:
+            raise IndexError_(
+                f"entries_per_block must be in [1, {max_entries}], "
+                f"got {entries_per_block}"
+            )
+        self.store = store
+        self.name = name
+        self.entries_per_block = entries_per_block
+        self._file = store.ensure_file(name, slot_count=slot_count)
+        #: Total committed postings.
+        self.count = 0
+        #: Largest appended document ID (-1 when empty).
+        self.last_doc_id = -1
+        #: Number of postings in the (current) tail block.
+        self._tail_entries = 0
+        # Application-memory copy of each block's largest doc ID.  The
+        # paper's Section 4.5 explicitly budgets this kind of metadata in
+        # the *indexing code's* own memory; certified readers never trust
+        # it and always re-derive largest IDs from block contents.
+        self._block_max: List[int] = []
+        if self._file.num_blocks:
+            self._restore_from_worm()
+
+    def _restore_from_worm(self) -> None:
+        """Rebuild writer-memory state from committed blocks (reopen path).
+
+        One uncounted pass — restart recovery is not part of any reported
+        I/O figure.  Enforces the same order invariant as the write path;
+        a violation here means the stored list was tampered with between
+        sessions.
+        """
+        last = -1
+        for block_no in range(self._file.num_blocks):
+            entries = self.read_block_postings(block_no, counted=False)
+            for posting in entries:
+                if posting.doc_id < last:
+                    raise TamperDetectedError(
+                        f"doc ID {posting.doc_id} after {last}",
+                        location=f"posting list '{self.name}', block {block_no}",
+                        invariant="posting-monotonicity",
+                    )
+                last = posting.doc_id
+            self.count += len(entries)
+            self._block_max.append(entries[-1].doc_id if entries else last)
+            self._tail_entries = len(entries)
+        self.last_doc_id = last
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        """Number of allocated blocks."""
+        return self._file.num_blocks
+
+    def __len__(self) -> int:
+        return self.count
+
+    def block_max_hint(self, block_no: int) -> int:
+        """Writer-memory hint of block ``block_no``'s largest doc ID.
+
+        Not trusted at query time; used only by the insert path's
+        tail-path optimization.
+        """
+        return self._block_max[block_no]
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def append(self, doc_id: int, term_code: int = 0) -> Tuple[int, int]:
+        """Append one posting; returns ``(block_no, index_within_block)``.
+
+        Raises
+        ------
+        DocumentIdOrderError
+            If ``doc_id`` is smaller than the last appended ID.  Honest
+            writers assign IDs from an increasing counter, so this is a
+            caller bug, not tampering.
+        """
+        if doc_id < self.last_doc_id:
+            raise DocumentIdOrderError(
+                f"doc_id {doc_id} < last appended {self.last_doc_id} in "
+                f"posting list '{self.name}'"
+            )
+        force_new = self._tail_entries >= self.entries_per_block
+        payload = encode_posting(doc_id, term_code)
+        block_no, offset = self.store.append_record(
+            self.name, payload, force_new_block=force_new
+        )
+        index = offset // POSTING_SIZE
+        if index == 0:
+            self._tail_entries = 0
+            self._block_max.append(doc_id)
+        self._tail_entries += 1
+        self._block_max[block_no] = doc_id
+        self.count += 1
+        self.last_doc_id = doc_id
+        return block_no, index
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read_block_postings(self, block_no: int, *, counted: bool = True) -> List[Posting]:
+        """Decode all postings of block ``block_no``.
+
+        ``counted=True`` routes the access through the storage cache so it
+        contributes to I/O statistics; auditors pass ``counted=False``.
+        """
+        if counted:
+            payload = self.store.read_block(self.name, block_no)
+        else:
+            payload = self.store.peek_block(self.name, block_no)
+        return decode_postings(payload)
+
+    def cursor(self, *, term_code: Optional[int] = None) -> "PostingCursor":
+        """A forward cursor over the list, optionally term-filtered."""
+        return PostingCursor(self, term_code=term_code)
+
+    def scan(self, *, counted: bool = True) -> Iterator[Posting]:
+        """Yield every posting in order (one counted read per block)."""
+        for block_no in range(self.num_blocks):
+            yield from self.read_block_postings(block_no, counted=counted)
+
+    def doc_ids(self, *, counted: bool = False) -> List[int]:
+        """All document IDs in order (convenience for tests and audits)."""
+        return [p.doc_id for p in self.scan(counted=counted)]
+
+    def verify_order(self) -> None:
+        """Audit that stored doc IDs are non-decreasing.
+
+        An honest writer can never produce a violation (``append`` checks
+        it), so a stored violation means someone appended through a
+        lower-level interface — tampering.
+        """
+        last = -1
+        for block_no in range(self.num_blocks):
+            for posting in self.read_block_postings(block_no, counted=False):
+                if posting.doc_id < last:
+                    raise TamperDetectedError(
+                        f"doc ID {posting.doc_id} after {last}",
+                        location=f"posting list '{self.name}', block {block_no}",
+                        invariant="posting-monotonicity",
+                    )
+                last = posting.doc_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PostingList('{self.name}', count={self.count}, "
+            f"blocks={self.num_blocks})"
+        )
+
+
+class PostingCursor:
+    """Forward-only iterator over a posting list with block-read counting.
+
+    The cursor is the abstraction the zigzag join drives: it exposes the
+    current posting, sequential advance, and (via an attached jump index)
+    ``find_geq``.  Distinct blocks loaded are tracked in
+    :attr:`blocks_read` — re-visiting a block already read during this
+    cursor's lifetime is free, modelling the query processor's in-memory
+    block cache.
+
+    Parameters
+    ----------
+    posting_list:
+        The list to iterate.
+    term_code:
+        When given, the cursor skips postings of other terms — the
+        "remove false positives" filter a merged list requires.  The
+        comparison masks off the packed-frequency metadata byte, so both
+        raw term codes and :func:`~repro.core.posting.pack_term_tf`-coded
+        postings filter correctly.
+    """
+
+    def __init__(self, posting_list: PostingList, *, term_code: Optional[int] = None):
+        self.posting_list = posting_list
+        self.term_code = term_code
+        #: Distinct block numbers loaded by this cursor.
+        self.blocks_read: Set[int] = set()
+        # Decoded blocks already paid for during this cursor's lifetime —
+        # the query processor's in-memory block cache.
+        self._decoded: dict = {}
+        self._block_no = -1
+        self._entries: List[Posting] = []
+        self._index = 0
+        self._exhausted = posting_list.num_blocks == 0
+        if not self._exhausted:
+            self._load_block(0)
+            self._settle()
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """Whether the cursor has moved past the last matching posting."""
+        return self._exhausted
+
+    @property
+    def current(self) -> Posting:
+        """The posting under the cursor.
+
+        Raises
+        ------
+        IndexError_
+            If the cursor is exhausted.
+        """
+        if self._exhausted:
+            raise IndexError_(
+                f"cursor over '{self.posting_list.name}' is exhausted"
+            )
+        return self._entries[self._index]
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        """``(block_no, index_within_block)`` of the current posting."""
+        return self._block_no, self._index
+
+    # ------------------------------------------------------------------
+    # movement
+    # ------------------------------------------------------------------
+    def advance(self) -> None:
+        """Move to the next matching posting (sequentially)."""
+        if self._exhausted:
+            return
+        self._index += 1
+        self._settle()
+
+    def seek_geq_sequential(self, doc_id: int) -> None:
+        """Advance until ``current.doc_id >= doc_id`` (pure scan).
+
+        This is the no-auxiliary-index FindGeq a scan-merge join uses;
+        jump-indexed seeks live on
+        :class:`~repro.core.block_jump_index.BlockJumpIndex`.
+        """
+        while not self._exhausted and self.current.doc_id < doc_id:
+            self.advance()
+
+    def exhaust(self) -> None:
+        """Mark the cursor exhausted without scanning the remaining blocks.
+
+        Used when an index proves no further matching entry exists (e.g.
+        the tail block's largest ID is below a find_geq target).
+        """
+        self._exhausted = True
+
+    def jump_to(self, block_no: int, index: int = 0) -> None:
+        """Reposition at ``(block_no, index)`` (used by jump-index seeks)."""
+        if block_no < self._block_no:
+            raise IndexError_(
+                f"cursor over '{self.posting_list.name}' cannot move "
+                f"backwards (block {block_no} < {self._block_no})"
+            )
+        self._load_block(block_no)
+        self._index = index
+        self._exhausted = False
+        self._settle()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _load_block(self, block_no: int) -> None:
+        self._block_no = block_no
+        self._entries = self.peek_block(block_no)
+
+    def peek_block(self, block_no: int) -> List[Posting]:
+        """Load a block's entries *without* moving the cursor.
+
+        Counts toward :attr:`blocks_read` the first time; afterwards the
+        decoded block is served from the cursor's in-memory cache.  Jump
+        indexes use this to navigate head-path blocks so that index
+        traversal I/O and data I/O are accounted together, as in the
+        paper's "number of blocks read" metric (Section 4.5).
+        """
+        entries = self._decoded.get(block_no)
+        if entries is None:
+            entries = self.posting_list.read_block_postings(block_no, counted=False)
+            self._decoded[block_no] = entries
+            self.blocks_read.add(block_no)
+        return entries
+
+    def block_entries(self) -> List[Posting]:
+        """Entries of the currently loaded block (already paid for)."""
+        return self._entries
+
+    def _settle(self) -> None:
+        """Advance over block boundaries and filtered-out term codes."""
+        while True:
+            if self._index >= len(self._entries):
+                next_block = self._block_no + 1
+                if next_block >= self.posting_list.num_blocks:
+                    self._exhausted = True
+                    return
+                self._load_block(next_block)
+                self._index = 0
+                continue
+            if (
+                self.term_code is not None
+                and self._entries[self._index].term_code & MAX_TERM_ID_WITH_TF
+                != self.term_code & MAX_TERM_ID_WITH_TF
+            ):
+                self._index += 1
+                continue
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "exhausted" if self._exhausted else f"at {self.position}"
+        return f"PostingCursor('{self.posting_list.name}', {state})"

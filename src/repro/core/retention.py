@@ -1,0 +1,144 @@
+"""Retention periods and trustworthy disposition (Section 2.2).
+
+"While immutability is often specified as a requirement for records,
+what is required in practice is that the records be 'term-immutable',
+i.e., immutable for a specified retention period."
+
+This module implements the end of a record's life:
+
+* documents commit with a ``retention_until`` horizon; the WORM device
+  refuses deletion before it (already enforced in
+  :meth:`repro.worm.device.WormDevice.delete_file`);
+* after expiry, :class:`RetentionManager` *disposes* of documents —
+  deleting the document file while recording the disposition in an
+  append-only WORM log.
+
+The log is what keeps disposition trustworthy: index entries for a
+disposed document cannot be removed (they are on WORM), so a query may
+still surface its ID — and without a disposition record, a dangling ID
+is indistinguishable from a posting-stuffing attack (Section 5).  The
+log lets a certified reader classify every dangling ID as either
+"legitimately disposed on date T, here is the record" or "fabricated —
+raise the alarm".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import TamperDetectedError
+from repro.worm.storage import CachedWormStore
+
+_RECORD = struct.Struct("<IQQ")  # doc_id, retention_until, disposed_at
+
+
+@dataclass(frozen=True)
+class Disposition:
+    """One recorded disposal of an expired document."""
+
+    doc_id: int
+    retention_until: int
+    disposed_at: int
+
+
+class RetentionManager:
+    """Tracks retention horizons and performs auditable disposition.
+
+    Parameters
+    ----------
+    store:
+        The WORM store holding both the documents and the disposition log.
+    log_name:
+        Disposition log file name.
+    """
+
+    def __init__(self, store: CachedWormStore, *, log_name: str = "dispositions"):
+        self.store = store
+        self.log_name = log_name
+        self._file = store.ensure_file(log_name)
+        self._dispositions: Dict[int, Disposition] = {}
+        if self._file.num_blocks:
+            for disposition in self.dispositions():
+                self._dispositions[disposition.doc_id] = disposition
+
+    def __len__(self) -> int:
+        return len(self._dispositions)
+
+    # ------------------------------------------------------------------
+    # disposition
+    # ------------------------------------------------------------------
+    def dispose_expired(self, documents, *, now: int) -> List[int]:
+        """Dispose of every committed document whose retention expired.
+
+        ``documents`` is the engine's
+        :class:`~repro.search.documents.DocumentStore`.  Returns the IDs
+        disposed in this pass.  Documents without a retention horizon
+        (``retention_until is None``) are permanent and never disposed.
+        """
+        disposed: List[int] = []
+        for doc_id in range(documents.next_doc_id):
+            if doc_id in self._dispositions or not documents.exists(doc_id):
+                continue
+            name = documents._file_name(doc_id)
+            worm_file = self.store.open_file(name)
+            horizon = worm_file.retention_until
+            if horizon is None or now < horizon:
+                continue
+            # Log first, then delete: a crash between the two leaves a
+            # disposition record for a still-present document, which a
+            # re-run simply completes; the reverse order would leave an
+            # unexplained dangling ID.
+            self._log(doc_id, int(horizon), now)
+            self.store.device.delete_file(name, now=now)
+            disposed.append(doc_id)
+        return disposed
+
+    def _log(self, doc_id: int, retention_until: int, disposed_at: int) -> None:
+        self.store.append_record(
+            self.log_name, _RECORD.pack(doc_id, retention_until, disposed_at)
+        )
+        self._dispositions[doc_id] = Disposition(
+            doc_id=doc_id, retention_until=retention_until, disposed_at=disposed_at
+        )
+
+    # ------------------------------------------------------------------
+    # certified reads
+    # ------------------------------------------------------------------
+    def is_disposed(self, doc_id: int) -> bool:
+        """Whether ``doc_id`` was legitimately disposed of."""
+        return doc_id in self._dispositions
+
+    def disposition_for(self, doc_id: int) -> Optional[Disposition]:
+        """The disposition record for ``doc_id``, if any."""
+        return self._dispositions.get(doc_id)
+
+    def dispositions(self) -> Iterator[Disposition]:
+        """Replay the WORM log, verifying its internal consistency."""
+        for block_no in range(self._file.num_blocks):
+            payload = self.store.peek_block(self.log_name, block_no)
+            for doc_id, retention_until, disposed_at in _RECORD.iter_unpack(payload):
+                if disposed_at < retention_until:
+                    raise TamperDetectedError(
+                        f"doc {doc_id} logged as disposed at {disposed_at}, "
+                        f"before its retention horizon {retention_until}",
+                        location=f"disposition log '{self.log_name}'",
+                        invariant="retention-horizon",
+                    )
+                yield Disposition(
+                    doc_id=doc_id,
+                    retention_until=retention_until,
+                    disposed_at=disposed_at,
+                )
+
+    def classify_dangling(self, doc_id: int) -> str:
+        """Explain a document ID that an index returned but WORM lacks.
+
+        Returns ``"disposed"`` (with an auditable record) or
+        ``"fabricated"`` (posting stuffing — no legitimate explanation).
+        """
+        return "disposed" if self.is_disposed(doc_id) else "fabricated"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RetentionManager(dispositions={len(self._dispositions)})"

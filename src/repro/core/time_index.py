@@ -1,0 +1,225 @@
+"""Trustworthy commit-time index (Section 5).
+
+Investigators supply target time ranges ("Nov.–Dec. 2001"); supporting
+them trustworthily requires an index on document commit times such that
+Mala can neither retroactively insert records "committed" in an earlier
+period nor eliminate any entry from a time-range query result.
+
+:class:`CommitTimeIndex` delivers both guarantees with the paper's own
+machinery: an append-only WORM log of ``(commit_time, doc_id)`` records —
+both components monotonic, so any retro-dated append is a monotonicity
+violation detectable at read time — plus a binary jump index over the
+distinct commit times whose node payloads are log offsets, giving
+``O(log N)`` trustworthy range queries (the jump index's Proposition 3
+guarantees no committed entry can be skipped).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.core.jump_index import JumpIndex
+from repro.errors import DocumentIdOrderError, TamperDetectedError
+from repro.worm.storage import CachedWormStore
+
+_RECORD = struct.Struct("<QI")
+#: Bytes per (commit_time, doc_id) log record: 8-byte time + 4-byte doc ID.
+RECORD_SIZE = _RECORD.size
+
+
+class CommitTimeIndex:
+    """Jump-indexed append-only log of document commit times.
+
+    Parameters
+    ----------
+    store:
+        WORM store holding the log file.
+    name:
+        Log file name on the device.
+    max_time_bits:
+        Sizing of the commit-time space for the jump index (64-bit epoch
+        timestamps by default).
+    """
+
+    def __init__(
+        self,
+        store: CachedWormStore,
+        name: str = "commit-times",
+        *,
+        max_time_bits: int = 48,
+    ):
+        self.store = store
+        self.name = name
+        self._file = store.ensure_file(name)
+        self._jump = JumpIndex(max_value_bits=max_time_bits)
+        #: Number of committed records.
+        self.count = 0
+        self._last_time = -1
+        self._last_doc_id = -1
+        self._records_per_block = store.block_size // RECORD_SIZE
+        if self._file.num_blocks:
+            self._restore_from_worm()
+
+    def _restore_from_worm(self) -> None:
+        """Rebuild the jump index and counters from the committed log.
+
+        Restart recovery: one uncounted pass that re-applies the same
+        monotonicity checks as ingest, so a log tampered with between
+        sessions fails loudly here rather than distorting later queries.
+        """
+        offset = 0
+        for block_no in range(self._file.num_blocks):
+            payload = self.store.peek_block(self.name, block_no)
+            for commit_time, doc_id in _RECORD.iter_unpack(payload):
+                if commit_time < self._last_time or doc_id <= self._last_doc_id:
+                    raise TamperDetectedError(
+                        f"commit log record {offset} ({commit_time}, "
+                        f"{doc_id}) violates monotonicity after "
+                        f"({self._last_time}, {self._last_doc_id})",
+                        location=f"commit log '{self.name}', record {offset}",
+                        invariant="commit-time-monotonicity",
+                    )
+                if commit_time > self._last_time:
+                    self._jump.insert(commit_time, payload=offset)
+                self._last_time = commit_time
+                self._last_doc_id = doc_id
+                offset += 1
+        self.count = offset
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def record_commit(self, doc_id: int, commit_time: int) -> None:
+        """Append one commit record; real-time, like the posting lists.
+
+        ``commit_time`` must be non-decreasing and ``doc_id`` strictly
+        increasing — the physical truth an honest ingest pipeline
+        produces.  Violations are caller bugs
+        (:class:`~repro.errors.DocumentIdOrderError`); *stored* violations
+        found later are tampering.
+        """
+        if commit_time < self._last_time:
+            raise DocumentIdOrderError(
+                f"commit time {commit_time} precedes last committed "
+                f"{self._last_time}; retro-dating is not a legal ingest"
+            )
+        if doc_id <= self._last_doc_id:
+            raise DocumentIdOrderError(
+                f"doc_id {doc_id} must exceed last committed {self._last_doc_id}"
+            )
+        offset = self.count
+        self.store.append_record(self.name, _RECORD.pack(commit_time, doc_id))
+        if commit_time > self._last_time:
+            # First record at this time: index it with its log offset.
+            self._jump.insert(commit_time, payload=offset)
+        self._last_time = commit_time
+        self._last_doc_id = doc_id
+        self.count += 1
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def _read_record(self, offset: int) -> Tuple[int, int]:
+        """Decode log record ``offset`` (counted block read)."""
+        block_no, idx = divmod(offset, self._records_per_block)
+        payload = self.store.read_block(self.name, block_no)
+        return _RECORD.unpack_from(payload, idx * RECORD_SIZE)
+
+    def _committed_records(self) -> int:
+        """Log extent derived from WORM state, not writer memory.
+
+        A certified reader must scan everything actually committed —
+        including records Mala appended around the honest writer, whose
+        in-memory count would not include them.
+        """
+        worm_file = self.store.open_file(self.name)
+        return worm_file.total_bytes() // RECORD_SIZE
+
+    def docs_in_range(self, t_start: int, t_end: int) -> List[int]:
+        """Document IDs committed with ``t_start <= time <= t_end``.
+
+        Trust guarantees: the start position comes from the jump index
+        (no entry can be skipped, Proposition 3) and the subsequent scan
+        verifies monotonicity of both fields, so a retro-dated append
+        surfaces as :class:`~repro.errors.TamperDetectedError` instead of
+        silently distorting the answer.
+        """
+        if t_end < t_start:
+            return []
+        node_id = self._jump.find_geq_node(t_start)
+        if node_id is None:
+            return []
+        start_offset = self._jump.node_payload(node_id)
+        start_time = self._jump.node_value(node_id)
+        if start_time > t_end:
+            return []
+        docs: List[int] = []
+        prev_time, prev_doc = -1, -1
+        for offset in range(start_offset, self._committed_records()):
+            commit_time, doc_id = self._read_record(offset)
+            if commit_time < prev_time or doc_id <= prev_doc:
+                raise TamperDetectedError(
+                    f"commit log record {offset} ({commit_time}, {doc_id}) "
+                    f"violates monotonicity after ({prev_time}, {prev_doc})",
+                    location=f"commit log '{self.name}', record {offset}",
+                    invariant="commit-time-monotonicity",
+                )
+            if offset == start_offset and commit_time != start_time:
+                raise TamperDetectedError(
+                    f"jump node for time {start_time} points at record "
+                    f"{offset} holding time {commit_time}",
+                    location=f"commit log '{self.name}', record {offset}",
+                    invariant="commit-time-jump-payload",
+                )
+            if commit_time > t_end:
+                break
+            docs.append(doc_id)
+            prev_time, prev_doc = commit_time, doc_id
+        return docs
+
+    def iter_records(self):
+        """Yield every committed ``(commit_time, doc_id)`` pair in order.
+
+        Uncounted; used by restart recovery and offline audits.
+        """
+        for block_no in range(self._file.num_blocks):
+            payload = self.store.peek_block(self.name, block_no)
+            yield from _RECORD.iter_unpack(payload)
+
+    def first_commit_geq(self, t: int) -> Optional[int]:
+        """Earliest indexed commit time ``>= t`` (``None`` if none)."""
+        return self._jump.find_geq(t)
+
+    @property
+    def last_commit_time(self) -> int:
+        """Most recent committed time (-1 while empty)."""
+        return self._last_time
+
+    def verify(self) -> None:
+        """Full-log audit: monotonicity of every record.
+
+        Offline pass for auditors; uses uncounted reads.
+        """
+        prev_time, prev_doc = -1, -1
+        worm_file = self.store.open_file(self.name)
+        offset = 0
+        for block_no in range(worm_file.num_blocks):
+            payload = self.store.peek_block(self.name, block_no)
+            for commit_time, doc_id in _RECORD.iter_unpack(payload):
+                if commit_time < prev_time or doc_id <= prev_doc:
+                    raise TamperDetectedError(
+                        f"commit log record {offset} ({commit_time}, "
+                        f"{doc_id}) violates monotonicity after "
+                        f"({prev_time}, {prev_doc})",
+                        location=f"commit log '{self.name}', record {offset}",
+                        invariant="commit-time-monotonicity",
+                    )
+                prev_time, prev_doc = commit_time, doc_id
+                offset += 1
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CommitTimeIndex('{self.name}', records={self.count})"

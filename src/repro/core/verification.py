@@ -1,0 +1,183 @@
+"""Certified-reader auditors (Sections 2.1, 4.3, 5).
+
+Bob runs a certified search engine; these are the checks it (and an
+offline auditor) performs so that Mala's WORM-legal manipulations —
+appends of spurious entries, malicious pointer assignments, posting-list
+stuffing — are *detected* rather than silently distorting answers.
+
+Auditors come in two flavours:
+
+* raising — the query-path checks inside the index structures raise
+  :class:`~repro.errors.TamperDetectedError` the moment a violation is
+  observed (the paper's ``assert`` lines);
+* reporting — the offline :func:`audit_posting_list` /
+  :func:`audit_search_result` passes collect *all* violations into an
+  :class:`AuditReport`, the artifact an investigator would file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.block_jump_index import BlockJumpIndex
+from repro.core.posting_list import PostingList
+
+
+@dataclass
+class AuditReport:
+    """Outcome of an offline audit pass.
+
+    Attributes
+    ----------
+    subject:
+        What was audited (file name, query string, ...).
+    violations:
+        Human-readable descriptions of every invariant violation found;
+        empty means the subject is consistent with honest operation.
+    entries_checked:
+        Volume audited, for the report's paper trail.
+    """
+
+    subject: str
+    violations: List[str] = field(default_factory=list)
+    entries_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the audit found no sign of tampering."""
+        return not self.violations
+
+    def add(self, violation: str) -> None:
+        """Record one violation."""
+        self.violations.append(violation)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for case files and tooling)."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "entries_checked": self.entries_checked,
+            "violations": list(self.violations),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "ok" if self.ok else f"{len(self.violations)} violations"
+        return f"AuditReport('{self.subject}', {status})"
+
+
+def audit_posting_list(
+    posting_list: PostingList,
+    jump_index: Optional[BlockJumpIndex] = None,
+) -> AuditReport:
+    """Offline audit of one posting list (and its jump pointers, if any).
+
+    Checks:
+
+    * document IDs are non-decreasing across the entire list (a violation
+      means a low-level append bypassed the honest writer — the
+      binary-search attack of Section 4 leaves exactly this trace);
+    * every set jump pointer goes forward and targets a block containing
+      an ID inside the pointer's range (Section 4.3's monotonicity
+      property).
+
+    Uses uncounted reads (audits are not part of any reported figure).
+    """
+    report = AuditReport(subject=f"posting list '{posting_list.name}'")
+    last = -1
+    block_last: List[int] = []
+    for block_no in range(posting_list.num_blocks):
+        entries = posting_list.read_block_postings(block_no, counted=False)
+        for posting in entries:
+            report.entries_checked += 1
+            if posting.doc_id < last:
+                report.add(
+                    f"block {block_no}: doc ID {posting.doc_id} after {last} "
+                    "(append-order violation)"
+                )
+            last = max(last, posting.doc_id)
+        block_last.append(entries[-1].doc_id if entries else -1)
+    if jump_index is not None:
+        _audit_jump_pointers(posting_list, jump_index, block_last, report)
+    return report
+
+
+def _audit_jump_pointers(
+    posting_list: PostingList,
+    jump_index: BlockJumpIndex,
+    block_last: List[int],
+    report: AuditReport,
+) -> None:
+    """Check every committed jump pointer against its range invariant."""
+    store = posting_list.store
+    for block_no in range(posting_list.num_blocks):
+        nb = block_last[block_no]
+        for slot in range(jump_index.num_slots):
+            target = store.peek_slot(posting_list.name, block_no, slot)
+            if target is None:
+                continue
+            report.entries_checked += 1
+            if target <= block_no:
+                report.add(
+                    f"block {block_no} slot {slot}: pointer goes backwards "
+                    f"to block {target}"
+                )
+                continue
+            if target >= posting_list.num_blocks:
+                report.add(
+                    f"block {block_no} slot {slot}: pointer targets "
+                    f"nonexistent block {target}"
+                )
+                continue
+            lo, hi = jump_index.slot_range(nb, slot)
+            entries = posting_list.read_block_postings(target, counted=False)
+            if not any(lo <= p.doc_id < hi for p in entries):
+                report.add(
+                    f"block {block_no} slot {slot}: target block {target} "
+                    f"holds no ID in [{lo}, {hi})"
+                )
+
+
+def audit_search_result(
+    result_doc_ids: Sequence[int],
+    query_terms: Sequence[str],
+    *,
+    document_exists,
+    document_contains,
+) -> AuditReport:
+    """Detect posting-list stuffing in a query result (Section 5).
+
+    Mala may append postings whose document IDs do not exist or whose
+    documents do not contain the query keywords, hoping to bury the
+    incriminating record in noise.  The certified engine cross-checks
+    every returned ID against the (WORM-resident, hence trustworthy)
+    documents themselves:
+
+    Parameters
+    ----------
+    result_doc_ids:
+        The IDs the index produced.
+    query_terms:
+        The keywords the user asked for.
+    document_exists:
+        ``f(doc_id) -> bool`` — the document is actually on WORM.
+    document_contains:
+        ``f(doc_id, term) -> bool`` — the stored document contains the
+        term.  Checked for at least one query term per document (the
+        disjunctive matching contract).
+    """
+    report = AuditReport(subject=f"result for query {list(query_terms)!r}")
+    for doc_id in result_doc_ids:
+        report.entries_checked += 1
+        if not document_exists(doc_id):
+            report.add(
+                f"doc {doc_id}: posting refers to a nonexistent document "
+                "(stuffed posting)"
+            )
+            continue
+        if not any(document_contains(doc_id, term) for term in query_terms):
+            report.add(
+                f"doc {doc_id}: document contains none of the query terms "
+                "(stuffed posting)"
+            )
+    return report

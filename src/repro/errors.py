@@ -1,0 +1,94 @@
+"""Exception hierarchy shared across all :mod:`repro` subpackages.
+
+The hierarchy mirrors the paper's trust boundaries:
+
+* :class:`WormViolationError` — an operation attempted to rewrite committed
+  data on the WORM device.  The (simulated) device refuses, exactly as the
+  paper's storage model assumes ("the WORM device operates properly, i.e.,
+  it never overwrites data", Section 2.1).
+
+* :class:`TamperDetectedError` — a *certified reader* (search engine,
+  auditor) found index state that violates an invariant that honest writers
+  always maintain (e.g. the monotonicity asserts of the jump-index
+  algorithms in Figure 7).  This is the "report of attempted malicious
+  activity" the paper calls for and is the signal Bob acts on.
+
+Everything else derives from :class:`ReproError` so applications can catch
+library errors with a single except clause without swallowing genuine bugs
+such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class WormError(ReproError):
+    """Base class for errors raised by the WORM storage substrate."""
+
+
+class WormViolationError(WormError):
+    """An operation attempted to overwrite or delete committed WORM data.
+
+    Raised by the simulated device itself.  Under the paper's threat model
+    the device is trusted to enforce this, so honest *and* malicious code
+    alike receive this error when attempting rewrites; Mala's only remaining
+    avenue is appending new data, which the index structures are designed to
+    make harmless (detectable at read time).
+    """
+
+
+class UnknownFileError(WormError):
+    """A referenced WORM file does not exist on the device."""
+
+
+class FileExistsOnWormError(WormError):
+    """Attempted to create a WORM file under a name that is already taken."""
+
+
+class BlockBoundsError(WormError):
+    """A block read or append referenced bytes outside the block."""
+
+
+class TamperDetectedError(ReproError):
+    """A certified reader detected index state violating a trust invariant.
+
+    Carries enough context for an audit trail: *where* the violation was
+    observed and *which* invariant failed.  The paper (Section 6) notes that
+    "attempted malicious activity is easy to detect, in the form of a
+    violation of a monotonicity property" — this exception is that report.
+    """
+
+    def __init__(self, message: str, *, location: str = "", invariant: str = ""):
+        super().__init__(message)
+        #: Human-readable locator, e.g. ``"posting list 'enron', block 12"``.
+        self.location = location
+        #: Short name of the violated invariant, e.g. ``"jump-monotonicity"``.
+        self.invariant = invariant
+
+
+class IndexError_(ReproError):
+    """Base class for index-structure errors that are *not* tampering.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class DocumentIdOrderError(IndexError_):
+    """A document ID insert was not strictly monotonically increasing.
+
+    Honest writers assign document IDs from an increasing counter
+    (Section 4.1), so hitting this during ingest is a caller bug; hitting a
+    *stored* order violation during reads raises
+    :class:`TamperDetectedError` instead.
+    """
+
+
+class QueryError(ReproError):
+    """A query was malformed or referenced unsupported features."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""

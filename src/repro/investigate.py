@@ -1,0 +1,174 @@
+"""Bob's toolkit: a certified, evidence-preserving investigation session.
+
+The paper's reader "Bob" (a regulatory authority) is "sufficiently
+cautious that he will check to make sure he is running a certified
+version of the search engine" (Section 2.1).  This module is that
+certified session, assembled from the library's verified read paths:
+
+* every query is run with result verification against the WORM-resident
+  documents (Section 5);
+* tamper alarms do not abort the investigation — they become case-file
+  findings, with the affected query re-run under incident handling;
+* a full structural audit (posting lists, jump pointers, commit log) can
+  be folded into the same case file;
+* the case file is exportable as JSON: queries run, verified results,
+  alarms raised, audit outcomes — the paper trail an investigation needs.
+
+Example
+-------
+>>> from repro import TrustworthySearchEngine
+>>> from repro.investigate import Investigation
+>>> engine = TrustworthySearchEngine()
+>>> _ = engine.index_document("imclone memo for stewart")
+>>> case = Investigation(engine, case_id="SEC-2002-001")
+>>> hits = case.search("+imclone +stewart")
+>>> [h.doc_id for h in hits]
+[0]
+>>> case.run_full_audit()
+True
+>>> sorted(case.case_file()) #doctest: +NORMALIZE_WHITESPACE
+['alarms', 'audits', 'case_id', 'documents_retrieved', 'queries']
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import TamperDetectedError
+from repro.search.engine import SearchResult, TrustworthySearchEngine
+
+
+@dataclass
+class _QueryRecord:
+    """One query of the investigation, with its verified outcome."""
+
+    query: str
+    result_doc_ids: List[int]
+    verified: bool
+    alarm: Optional[str] = None
+
+
+class Investigation:
+    """A certified read-only session over a trustworthy archive.
+
+    Parameters
+    ----------
+    engine:
+        The archive's engine.  The investigation only reads (queries,
+        audits); the single exception is the engine's incident log, which
+        grows when tampering is exposed — appending evidence is the one
+        WORM-compatible response to detection.
+    case_id:
+        Identifier stamped into the exported case file.
+    """
+
+    def __init__(self, engine: TrustworthySearchEngine, *, case_id: str = "case"):
+        self.engine = engine
+        self.case_id = case_id
+        self._queries: List[_QueryRecord] = []
+        self._alarms: List[Dict[str, str]] = []
+        self._audits: List[dict] = []
+        self._documents: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def search(self, query: str, *, top_k: int = 20) -> List[SearchResult]:
+        """Run a verified query; alarms become findings, not failures.
+
+        Uses the engine's incident-handling path: stuffing is exposed,
+        quarantined, and recorded; the returned results are verified
+        against the WORM documents.
+        """
+        try:
+            results, report = self.engine.search_with_incident_handling(
+                query, top_k=top_k
+            )
+            alarm = None if report.ok else "; ".join(report.violations)
+        except TamperDetectedError as exc:
+            # Structural tampering (bad jump pointer, corrupted log):
+            # record it; the query has no trustworthy answer to give.
+            self._alarms.append(
+                {
+                    "query": query,
+                    "invariant": exc.invariant,
+                    "location": exc.location,
+                    "detail": str(exc),
+                }
+            )
+            self._queries.append(
+                _QueryRecord(
+                    query=query, result_doc_ids=[], verified=False,
+                    alarm=str(exc),
+                )
+            )
+            return []
+        if alarm:
+            self._alarms.append({"query": query, "detail": alarm})
+        self._queries.append(
+            _QueryRecord(
+                query=query,
+                result_doc_ids=[r.doc_id for r in results],
+                verified=True,
+                alarm=alarm,
+            )
+        )
+        return results
+
+    def retrieve(self, doc_id: int) -> str:
+        """Fetch a document's committed text into the case file."""
+        text = self.engine.documents.get(doc_id).text
+        self._documents[doc_id] = text
+        return text
+
+    # ------------------------------------------------------------------
+    # auditing
+    # ------------------------------------------------------------------
+    def run_full_audit(self) -> bool:
+        """Structural audit of the whole archive; returns overall health."""
+        from repro.adversary.detection import full_engine_audit
+
+        reports = full_engine_audit(self.engine)
+        self._audits.extend(r.to_dict() for r in reports)
+        return all(r.ok for r in reports)
+
+    # ------------------------------------------------------------------
+    # the case file
+    # ------------------------------------------------------------------
+    @property
+    def alarm_count(self) -> int:
+        """Number of tampering findings so far."""
+        return len(self._alarms)
+
+    def case_file(self) -> dict:
+        """The investigation's full record, JSON-serializable."""
+        return {
+            "case_id": self.case_id,
+            "queries": [
+                {
+                    "query": q.query,
+                    "results": q.result_doc_ids,
+                    "verified": q.verified,
+                    "alarm": q.alarm,
+                }
+                for q in self._queries
+            ],
+            "alarms": list(self._alarms),
+            "audits": list(self._audits),
+            "documents_retrieved": {
+                str(doc_id): text for doc_id, text in self._documents.items()
+            },
+        }
+
+    def export(self, path: str) -> None:
+        """Write the case file to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.case_file(), handle, indent=2)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Investigation('{self.case_id}', queries={len(self._queries)}, "
+            f"alarms={len(self._alarms)})"
+        )

@@ -1,0 +1,71 @@
+"""Tokenization for document ingest and queries.
+
+Deliberately simple — lowercase word extraction with a small stopword
+list — because nothing in the paper's evaluation depends on linguistic
+sophistication; what matters is that documents and queries pass through
+the *same* analysis so posting lists and query terms agree.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List
+
+_TOKEN = re.compile(r"[a-z0-9]+")
+
+#: English function words excluded from indexing; small on purpose — a
+#: records-retention index must err on the side of indexing too much.
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    """a an and are as at be but by for if in into is it no not of on or
+    such that the their then there these they this to was will with""".split()
+)
+
+
+class Analyzer:
+    """Lowercasing word tokenizer with stopword removal.
+
+    Parameters
+    ----------
+    stopwords:
+        Terms to drop; pass an empty set to index everything.
+    min_length:
+        Minimum token length retained (single letters are rarely useful
+        search keys).
+    """
+
+    def __init__(
+        self,
+        *,
+        stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+        min_length: int = 2,
+    ):
+        self.stopwords = frozenset(w.lower() for w in stopwords)
+        if min_length < 1:
+            raise ValueError(f"min_length must be >= 1, got {min_length}")
+        self.min_length = min_length
+
+    def tokens(self, text: str) -> List[str]:
+        """All retained tokens of ``text`` in order, duplicates included."""
+        return [
+            token
+            for token in _TOKEN.findall(text.lower())
+            if len(token) >= self.min_length and token not in self.stopwords
+        ]
+
+    def term_counts(self, text: str) -> Dict[str, int]:
+        """Distinct retained terms with their occurrence counts."""
+        return dict(Counter(self.tokens(text)))
+
+    def query_terms(self, text: str) -> List[str]:
+        """Distinct retained terms in first-occurrence order (for queries)."""
+        seen: Dict[str, None] = {}
+        for token in self.tokens(text):
+            seen.setdefault(token, None)
+        return list(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Analyzer(stopwords={len(self.stopwords)}, "
+            f"min_length={self.min_length})"
+        )

@@ -1,0 +1,622 @@
+"""End-to-end trustworthy search engine (the library's main public API).
+
+:class:`TrustworthySearchEngine` assembles the whole paper:
+
+* documents commit to WORM and are indexed **in the same call** — no
+  buffering window for Mala to exploit (Section 2.3's real-time update
+  requirement);
+* posting lists are **merged** into ``M`` cache-resident lists
+  (Section 3) under a pluggable strategy, uniform hashing by default;
+* optional **jump indexes** (Section 4) accelerate conjunctive queries
+  while preserving trust guarantees;
+* a **commit-time index** (Section 5) serves trustworthy time-range
+  constraints;
+* results can be **verified** against the WORM-resident documents to
+  expose posting-list stuffing (Section 5's ranking-attack
+  countermeasure).
+
+Example
+-------
+>>> engine = TrustworthySearchEngine()
+>>> engine.index_document("quarterly revenue audit memo")
+0
+>>> [r.doc_id for r in engine.search("revenue audit")]
+[0]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.block_jump_index import BlockJumpIndex
+from repro.core.merge import MergeStrategy, TermAssignment, UniformHashMerge
+from repro.core.posting import MAX_TERM_ID_WITH_TF, pack_term_tf, unpack_term_tf
+from repro.core.posting_list import PostingList
+from repro.core.time_index import CommitTimeIndex
+from repro.core.verification import AuditReport, audit_search_result
+from repro.errors import WorkloadError
+from repro.search.analyzer import Analyzer
+from repro.search.documents import DocumentStore
+from repro.search.join import MergedListCursor, conjunctive_join
+from repro.search.query import Query, QueryMode, parse_query
+from repro.search.ranking import BM25Scorer, CollectionStats, CosineScorer
+from repro.worm.storage import CachedWormStore
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of a :class:`TrustworthySearchEngine`.
+
+    Attributes
+    ----------
+    num_lists:
+        Number of merged posting lists ``M``; size this to the storage
+        cache (``cache_bytes / block_size``, Section 3.4).  The paper's
+        validated configuration uses 32,768 lists for a 128 MB cache.
+    block_size:
+        WORM block size in bytes (paper: 8 KB).
+    cache_blocks:
+        Storage-cache capacity in blocks (``None`` = unbounded; use a
+        finite value to reproduce insert-I/O behaviour).
+    branching:
+        Jump-index branching factor ``B`` (paper's sweet spot: 32);
+        ``None`` disables jump indexes (the merged-lists-only scheme).
+    ranking:
+        ``"bm25"`` or ``"cosine"``.
+    verify_results:
+        Cross-check every result against the stored documents before
+        returning (the Section 5 stuffing countermeasure).  Costs one
+        document read per result.
+    """
+
+    num_lists: int = 1024
+    block_size: int = 8192
+    cache_blocks: Optional[int] = None
+    branching: Optional[int] = 32
+    ranking: str = "bm25"
+    verify_results: bool = False
+    #: Term-immutability horizon in commit-time units (None = forever).
+    retention_period: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_lists <= 0:
+            raise WorkloadError(f"num_lists must be positive, got {self.num_lists}")
+        if self.ranking not in ("bm25", "cosine"):
+            raise WorkloadError(f"unknown ranking '{self.ranking}'")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked hit."""
+
+    doc_id: int
+    score: float
+
+
+class TrustworthySearchEngine:
+    """Keyword search over records retained on WORM storage.
+
+    Parameters
+    ----------
+    config:
+        Engine configuration; defaults give a jump-indexed, uniformly
+        merged index.
+    merge_strategy:
+        Optional custom merging strategy (e.g.
+        :class:`~repro.core.merge.PopularUnmergedMerge` built from learned
+        statistics).  Must be able to assign any term ID the lexicon may
+        grow to; the default is uniform hashing, which can.
+    store:
+        Bring-your-own WORM store (shared with other components);
+        otherwise the engine creates one per the config.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        *,
+        merge_strategy: Optional[MergeStrategy] = None,
+        store: Optional[CachedWormStore] = None,
+    ):
+        self.config = config or EngineConfig()
+        self.store = store or CachedWormStore(
+            self.config.cache_blocks, block_size=self.config.block_size
+        )
+        self.analyzer = Analyzer()
+        self.documents = DocumentStore(self.store)
+        self.stats = CollectionStats()
+        self._scorer = (
+            BM25Scorer(self.stats)
+            if self.config.ranking == "bm25"
+            else CosineScorer(self.stats)
+        )
+        self._merge = merge_strategy or UniformHashMerge(self.config.num_lists)
+        self._assignment: Optional[TermAssignment] = None
+        self.time_index = CommitTimeIndex(self.store, "engine/commit-times")
+        # Lexicon: term string <-> engine-local term ID (order of first
+        # appearance).  Rebuildable from the WORM lexicon log.
+        self._term_ids: Dict[str, int] = {}
+        self._terms: List[str] = []
+        self._lexicon_file = self.store.ensure_file("engine/lexicon")
+        # Physical lists are created lazily as terms first hash into them.
+        self._lists: Dict[int, PostingList] = {}
+        self._jumps: Dict[int, BlockJumpIndex] = {}
+        #: Per-term posting counts (join-ordering hints; derived data).
+        self._term_postings: Dict[int, int] = {}
+        self._clock = 0
+        self._incidents = None
+        self._retention = None
+        if self._lexicon_file.num_blocks or len(self.time_index):
+            self._restore_state()
+
+    def _restore_state(self) -> None:
+        """Rebuild application-memory state from WORM (restart recovery).
+
+        Everything rebuilt here is *derived* data: the lexicon log, the
+        commit-time log, the posting lists, and the documents themselves
+        all live on WORM (the posting lists and commit log verified their
+        own invariants when reattached).  Ranking statistics and posting
+        counts are recomputed from the stored documents; documents
+        ingested with ``store_text=False`` contribute document counts but
+        no term statistics, which only affects ranking quality.
+        """
+        payload = b"".join(
+            self.store.peek_block("engine/lexicon", b)
+            for b in range(self._lexicon_file.num_blocks)
+        )
+        for raw in payload.split(b"\n"):
+            if raw:
+                term = raw.decode("utf-8")
+                self._term_ids[term] = len(self._terms)
+                self._terms.append(term)
+        commit_times = {}
+        for commit_time, doc_id in self.time_index.iter_records():
+            commit_times[doc_id] = commit_time
+        self.documents.restore(len(commit_times), commit_times)
+        self._clock = self.time_index.last_commit_time + 1
+        for doc_id in range(len(commit_times)):
+            if not self.documents.exists(doc_id):
+                continue
+            text = self.documents.get(doc_id).text
+            term_counts = self.analyzer.term_counts(text)
+            id_counts = {
+                self._term_ids[t]: c
+                for t, c in term_counts.items()
+                if t in self._term_ids
+            }
+            if id_counts:
+                self.stats.add_document(doc_id, id_counts)
+                for term_id in id_counts:
+                    self._term_postings[term_id] = (
+                        self._term_postings.get(term_id, 0) + 1
+                    )
+
+    # ------------------------------------------------------------------
+    # lexicon
+    # ------------------------------------------------------------------
+    def term_id(self, term: str, *, create: bool = False) -> Optional[int]:
+        """Engine-local term ID for ``term`` (optionally allocating one)."""
+        existing = self._term_ids.get(term)
+        if existing is not None or not create:
+            return existing
+        term_id = len(self._terms)
+        if term_id > MAX_TERM_ID_WITH_TF:
+            raise WorkloadError("lexicon exceeded the 24-bit term-id space")
+        self._term_ids[term] = term_id
+        self._terms.append(term)
+        self._lexicon_file.append_record(term.encode("utf-8")[:128] + b"\n")
+        return term_id
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct terms seen so far."""
+        return len(self._terms)
+
+    # ------------------------------------------------------------------
+    # physical lists
+    # ------------------------------------------------------------------
+    def _list_id_for(self, term_id: int) -> int:
+        # Strategies are stable under universe growth (see MergeStrategy),
+        # so the engine re-derives a larger assignment as the lexicon
+        # grows; terms already indexed keep their physical lists.
+        if self._assignment is None or self._assignment.num_terms <= term_id:
+            fixed = self._merge.universe_size()
+            if fixed is not None:
+                if term_id >= fixed:
+                    raise WorkloadError(
+                        f"term id {term_id} exceeds the fixed universe "
+                        f"({fixed} terms) the merge strategy was built for"
+                    )
+                universe = fixed
+            else:
+                universe = max(1024, 2 * (term_id + 1))
+            self._assignment = self._merge.assign(universe)
+        return self._assignment.list_for(term_id)
+
+    def _physical_list(self, list_id: int) -> Tuple[PostingList, Optional[BlockJumpIndex]]:
+        posting_list = self._lists.get(list_id)
+        if posting_list is None:
+            name = f"engine/pl/{list_id:08d}"
+            if self.config.branching is not None:
+                jump = BlockJumpIndex.create(
+                    self.store, name, branching=self.config.branching
+                )
+                posting_list = jump.posting_list
+                self._jumps[list_id] = jump
+            else:
+                posting_list = PostingList(self.store, name)
+            self._lists[list_id] = posting_list
+        return posting_list, self._jumps.get(list_id)
+
+    def _existing_list(self, list_id: int) -> Optional[PostingList]:
+        """The physical list if it has ever been written (else ``None``).
+
+        Query paths use this so that a reopened engine lazily re-attaches
+        lists committed in previous sessions.
+        """
+        posting_list = self._lists.get(list_id)
+        if posting_list is None and self.store.device.exists(
+            f"engine/pl/{list_id:08d}"
+        ):
+            posting_list, _ = self._physical_list(list_id)
+        return posting_list
+
+    # ------------------------------------------------------------------
+    # ingest — commit + index as one action (Section 2.1)
+    # ------------------------------------------------------------------
+    def index_document(
+        self, text: str, *, commit_time: Optional[int] = None
+    ) -> int:
+        """Commit a document to WORM and index it, atomically from the
+        caller's perspective; returns the assigned document ID."""
+        term_counts = self.analyzer.term_counts(text)
+        return self._ingest(text, term_counts, commit_time)
+
+    def index_term_counts(
+        self,
+        term_counts: Mapping[str, int],
+        *,
+        commit_time: Optional[int] = None,
+        store_text: bool = True,
+    ) -> int:
+        """Index pre-analyzed term counts (bulk/synthetic ingest path)."""
+        text = (
+            " ".join(
+                word
+                for term, count in sorted(term_counts.items())
+                for word in [term] * count
+            )
+            if store_text
+            else ""
+        )
+        return self._ingest(text, dict(term_counts), commit_time)
+
+    def _ingest(
+        self,
+        text: str,
+        term_counts: Dict[str, int],
+        commit_time: Optional[int],
+    ) -> int:
+        if commit_time is None:
+            commit_time = self._clock
+        if commit_time < self._clock:
+            raise WorkloadError(
+                f"commit_time {commit_time} precedes the engine clock "
+                f"{self._clock}; commits are monotonic"
+            )
+        self._clock = commit_time + 1
+        retention_until = (
+            commit_time + self.config.retention_period
+            if self.config.retention_period is not None
+            else None
+        )
+        doc_id = self.documents.commit(
+            text, commit_time=commit_time, retention_until=retention_until
+        )
+        id_counts: Dict[int, int] = {}
+        for term, count in term_counts.items():
+            id_counts[self.term_id(term, create=True)] = count
+        # Posting-list updates happen now, before returning: real-time
+        # index update, no buffering window.
+        for term_id in sorted(id_counts):
+            # Postings carry the paper's "keyword frequency" metadata,
+            # packed into the code field's spare byte.
+            code = pack_term_tf(term_id, id_counts[term_id])
+            list_id = self._list_id_for(term_id)
+            posting_list, jump = self._physical_list(list_id)
+            if jump is not None:
+                jump.insert(doc_id, term_code=code)
+            else:
+                posting_list.append(doc_id, term_code=code)
+            self._term_postings[term_id] = self._term_postings.get(term_id, 0) + 1
+        self.time_index.record_commit(doc_id, commit_time)
+        self.stats.add_document(doc_id, id_counts)
+        return doc_id
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query,
+        *,
+        top_k: int = 10,
+        verify: Optional[bool] = None,
+    ) -> List[SearchResult]:
+        """Run a query and return ranked results.
+
+        ``query`` may be a raw string (parsed with the engine's analyzer,
+        see :func:`repro.search.query.parse_query`) or a prepared
+        :class:`~repro.search.query.Query`.
+        """
+        if isinstance(query, str):
+            query = parse_query(query, analyzer=self.analyzer)
+        if query.mode is QueryMode.ALL:
+            doc_ids, _ = self.conjunctive_doc_ids(query.terms)
+            candidates = {d: self._result_term_freqs(d, query.terms) for d in doc_ids}
+        else:
+            candidates = self._disjunctive_candidates(query.terms)
+        if query.time_range is not None:
+            allowed = set(self.time_index.docs_in_range(*query.time_range))
+            candidates = {d: tf for d, tf in candidates.items() if d in allowed}
+        retention = self._retention_if_any()
+        if retention is not None and len(retention):
+            candidates = {
+                d: tf
+                for d, tf in candidates.items()
+                if not retention.is_disposed(d)
+            }
+        results = [
+            SearchResult(doc_id=d, score=self._scorer.score(d, tf))
+            for d, tf in candidates.items()
+        ]
+        results.sort(key=lambda r: (-r.score, r.doc_id))
+        results = results[:top_k]
+        should_verify = self.config.verify_results if verify is None else verify
+        if should_verify:
+            report = self.verify_results([r.doc_id for r in results], query.terms)
+            if not report.ok:
+                # Surface the stuffing attempt; the caller (Bob) decides
+                # what to do with the evidence.
+                from repro.errors import TamperDetectedError
+
+                raise TamperDetectedError(
+                    f"result verification failed: {report.violations}",
+                    location=f"query {query.terms!r}",
+                    invariant="result-document-consistency",
+                )
+        return results
+
+    def _disjunctive_candidates(
+        self, terms: Sequence[str]
+    ) -> Dict[int, Dict[int, int]]:
+        """Scan the merged lists of the query terms; collect tf per doc."""
+        term_ids = [self.term_id(t) for t in terms]
+        present = [t for t in term_ids if t is not None]
+        candidates: Dict[int, Dict[int, int]] = {}
+        wanted = set(present)
+        for list_id in sorted({self._list_id_for(t) for t in present}):
+            posting_list = self._existing_list(list_id)
+            if posting_list is None:
+                continue
+            for posting in posting_list.scan(counted=False):
+                term_id, tf = unpack_term_tf(posting.term_code)
+                if term_id in wanted:
+                    tf_map = candidates.setdefault(posting.doc_id, {})
+                    tf_map[term_id] = max(tf_map.get(term_id, 0), tf)
+        return candidates
+
+    def conjunctive_doc_ids(self, terms: Sequence[str]) -> Tuple[List[int], int]:
+        """Documents containing *all* terms, plus blocks read (Section 4).
+
+        Absent terms short-circuit to an empty result — a document cannot
+        contain a term that has no postings.
+        """
+        term_ids = []
+        for term in dict.fromkeys(terms):
+            term_id = self.term_id(term)
+            if term_id is None:
+                return [], 0
+            term_ids.append(term_id)
+        cursors = []
+        for term_id in term_ids:
+            list_id = self._list_id_for(term_id)
+            posting_list = self._existing_list(list_id)
+            if posting_list is None or not len(posting_list):
+                return [], 0
+            cursors.append(
+                MergedListCursor(
+                    posting_list,
+                    term_code=term_id,
+                    jump_index=self._jumps.get(list_id),
+                    length_hint=self._term_postings.get(term_id, 0),
+                )
+            )
+        return conjunctive_join(cursors)
+
+    def _result_term_freqs(
+        self, doc_id: int, terms: Sequence[str]
+    ) -> Dict[int, int]:
+        """Presence map (tf=1) for scoring conjunctive results."""
+        return {
+            self.term_id(t): 1 for t in terms if self.term_id(t) is not None
+        }
+
+    # ------------------------------------------------------------------
+    # operational statistics
+    # ------------------------------------------------------------------
+    def archive_stats(self) -> Dict[str, object]:
+        """Operational summary of the archive's committed state.
+
+        Attaches every committed posting list first so counts cover the
+        whole device, not just lists this session has touched.
+        """
+        for name in self.store.device.list_files():
+            if name.startswith("engine/pl/"):
+                self._existing_list(int(name.rsplit("/", 1)[1]))
+        postings = sum(len(pl) for pl in self._lists.values())
+        blocks = sum(pl.num_blocks for pl in self._lists.values())
+        pointers = sum(j.pointers_set for j in self._jumps.values())
+        retention = self._retention_if_any()
+        if self._incidents is not None or self.store.device.exists(
+            "engine/incidents"
+        ):
+            incidents = len(self.incidents)
+        else:
+            incidents = 0
+        return {
+            "documents": len(self.documents),
+            "vocabulary": self.vocabulary_size,
+            "physical_lists": len(self._lists),
+            "postings": postings,
+            "posting_blocks": blocks,
+            "jump_pointers": pointers,
+            "jump_index": (
+                f"B={self.config.branching}" if self.config.branching else "off"
+            ),
+            "commit_log_records": len(self.time_index),
+            "incidents": incidents,
+            "dispositions": len(retention) if retention is not None else 0,
+            "device_bytes": self.store.device.total_bytes(),
+        }
+
+    # ------------------------------------------------------------------
+    # incident handling (Section 6 future work, implemented)
+    # ------------------------------------------------------------------
+    @property
+    def incidents(self):
+        """The engine's WORM-resident incident log (created on first use)."""
+        if self._incidents is None:
+            from repro.core.incidents import IncidentLog
+
+            self._incidents = IncidentLog(self.store, "engine/incidents")
+        return self._incidents
+
+    @property
+    def retention(self):
+        """The engine's retention manager (created on first use)."""
+        if self._retention is None:
+            from repro.core.retention import RetentionManager
+
+            self._retention = RetentionManager(
+                self.store, log_name="engine/dispositions"
+            )
+        return self._retention
+
+    def _retention_if_any(self):
+        """The retention manager iff dispositions were ever committed.
+
+        Query paths call this so that a reopened engine notices an
+        existing disposition log without eagerly creating one.
+        """
+        if self._retention is None and self.store.device.exists(
+            "engine/dispositions"
+        ):
+            return self.retention
+        return self._retention
+
+    def dispose_expired(self, *, now: Optional[int] = None):
+        """Dispose of documents past their retention horizon (Section 2.2).
+
+        Deletes each expired document from WORM and records the
+        disposition in the append-only log, so that dangling index
+        entries remain explainable to auditors.  Returns the disposed
+        document IDs.
+        """
+        return self.retention.dispose_expired(
+            self.documents, now=self._clock if now is None else now
+        )
+
+    def search_with_incident_handling(self, query, *, top_k: int = 10):
+        """Search, verify, and *handle* any detected stuffing.
+
+        Returns ``(results, report)``: results are verified against the
+        WORM documents with known-bad (quarantined) IDs excluded, and the
+        report lists what verification found this time.  Newly exposed
+        fabricated IDs are quarantined via the incident log — they cannot
+        be removed from WORM, so the engine appends durable knowledge
+        that they are malicious instead (the paper's Section 6
+        future-work question, answered the WORM way).
+        """
+        if isinstance(query, str):
+            query = parse_query(query, analyzer=self.analyzer)
+        raw = self.search(
+            query,
+            top_k=top_k + len(self.incidents.quarantined_doc_ids),
+            verify=False,
+        )
+        candidates = [
+            r for r in raw if not self.incidents.is_quarantined(r.doc_id)
+        ]
+        report = self.verify_results([r.doc_id for r in candidates], query.terms)
+        if not report.ok:
+            retention = self._retention_if_any()
+
+            def fabricated(doc_id: int) -> bool:
+                if self.documents.exists(doc_id):
+                    return False
+                return retention is None or not retention.is_disposed(doc_id)
+
+            def mismatched(doc_id: int) -> bool:
+                if not self.documents.exists(doc_id):
+                    return False
+                text = self.documents.get(doc_id).text
+                counts = self.analyzer.term_counts(text)
+                return not any(t in counts for t in query.terms)
+
+            # Fabricated IDs are quarantined globally (they reference no
+            # document anywhere); keyword-mismatch plants are real
+            # documents stuffed into the wrong list, so they are excluded
+            # from *this* result only — they remain legitimate answers to
+            # other queries.
+            fabricated_ids = [r.doc_id for r in candidates if fabricated(r.doc_id)]
+            mismatch_ids = {r.doc_id for r in candidates if mismatched(r.doc_id)}
+            self.incidents.record(
+                "posting-stuffing",
+                location=f"query {query.terms!r}",
+                invariant="result-document-consistency",
+                description="; ".join(report.violations),
+                quarantine_doc_ids=fabricated_ids,
+            )
+            candidates = [
+                r
+                for r in candidates
+                if not self.incidents.is_quarantined(r.doc_id)
+                and r.doc_id not in mismatch_ids
+            ]
+        return candidates[:top_k], report
+
+    # ------------------------------------------------------------------
+    # verification (Section 5)
+    # ------------------------------------------------------------------
+    def verify_results(
+        self, doc_ids: Sequence[int], terms: Sequence[str]
+    ) -> AuditReport:
+        """Cross-check results against WORM-resident documents."""
+        retention = self._retention_if_any()
+
+        def exists(doc_id: int) -> bool:
+            if self.documents.exists(doc_id):
+                return True
+            # A legitimately disposed document is not stuffing: its
+            # absence is explained by an auditable WORM record.
+            return retention is not None and retention.is_disposed(doc_id)
+
+        def contains(doc_id: int, term: str) -> bool:
+            if not self.documents.exists(doc_id):
+                # Disposed: content gone, disposition record vouches.
+                return True
+            text = self.documents.get(doc_id).text
+            return term in self.analyzer.term_counts(text)
+
+        return audit_search_result(
+            doc_ids, list(terms), document_exists=exists, document_contains=contains
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TrustworthySearchEngine(docs={len(self.documents)}, "
+            f"terms={self.vocabulary_size}, lists={len(self._lists)}, "
+            f"jump={'B=' + str(self.config.branching) if self.config.branching else 'off'})"
+        )

@@ -1,0 +1,194 @@
+"""Query cost profiling: the paper's instrumentation as a public API.
+
+The evaluation measures queries in *posting entries scanned* (the
+workload cost Q of Section 3.1) and *blocks read* (the Figure 8(c)
+metric).  :func:`profile_query` runs one query against an engine and
+reports both, along with the plan it took — so a deployment can measure
+its own workload the way the paper measured IBM's, and decide (per
+Section 4.5) whether its query mix justifies a jump index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.search.join import MergedListCursor, conjunctive_join
+from repro.search.query import Query, QueryMode, parse_query
+
+
+@dataclass
+class QueryProfile:
+    """Cost breakdown of one profiled query.
+
+    Attributes
+    ----------
+    terms:
+        The analyzed query terms.
+    mode:
+        ``"disjunctive"`` or ``"conjunctive"``.
+    physical_lists:
+        Distinct merged posting lists the query touched.
+    entries_scanned:
+        Posting entries read (the unit of the workload cost Q).  For
+        conjunctive queries this counts entries in the blocks actually
+        loaded, not whole lists — that is the point of the zigzag join.
+    blocks_read:
+        Distinct posting-list blocks loaded (the Figure 8(c) unit).
+    matches:
+        Documents matched (before ranking/top-k).
+    used_jump_index:
+        Whether jump-index seeks were available on the conjunctive path.
+    per_list_blocks:
+        Blocks read per physical list id.
+    """
+
+    terms: Tuple[str, ...]
+    mode: str
+    physical_lists: int
+    entries_scanned: int
+    blocks_read: int
+    matches: int
+    used_jump_index: bool
+    per_list_blocks: Dict[int, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable cost summary."""
+        jump = "jump-index" if self.used_jump_index else "sequential"
+        return (
+            f"{self.mode} {list(self.terms)}: {self.matches} matches, "
+            f"{self.blocks_read} blocks / {self.entries_scanned} entries "
+            f"over {self.physical_lists} lists ({jump})"
+        )
+
+
+def profile_query(engine, query) -> QueryProfile:
+    """Run ``query`` against ``engine``, measuring its I/O footprint.
+
+    Profiling runs the same code paths as :meth:`engine.search
+    <repro.search.engine.TrustworthySearchEngine.search>` but with
+    explicit accounting; it does not affect engine state (reads only).
+    """
+    if isinstance(query, str):
+        query = parse_query(query, analyzer=engine.analyzer)
+    if query.mode is QueryMode.ALL:
+        return _profile_conjunctive(engine, query)
+    return _profile_disjunctive(engine, query)
+
+
+def _profile_disjunctive(engine, query: Query) -> QueryProfile:
+    term_ids = [
+        engine.term_id(t) for t in query.terms if engine.term_id(t) is not None
+    ]
+    wanted = set(term_ids)
+    list_ids = sorted({engine._list_id_for(t) for t in term_ids})
+    entries = 0
+    blocks = 0
+    matches = set()
+    per_list: Dict[int, int] = {}
+    from repro.core.posting import unpack_term_tf
+
+    for list_id in list_ids:
+        posting_list = engine._existing_list(list_id)
+        if posting_list is None:
+            continue
+        per_list[list_id] = posting_list.num_blocks
+        blocks += posting_list.num_blocks
+        for posting in posting_list.scan(counted=False):
+            entries += 1
+            term_id, _ = unpack_term_tf(posting.term_code)
+            if term_id in wanted:
+                matches.add(posting.doc_id)
+    return QueryProfile(
+        terms=query.terms,
+        mode="disjunctive",
+        physical_lists=len(per_list),
+        entries_scanned=entries,
+        blocks_read=blocks,
+        matches=len(matches),
+        used_jump_index=False,
+        per_list_blocks=per_list,
+    )
+
+
+def _profile_conjunctive(engine, query: Query) -> QueryProfile:
+    cursors: List[MergedListCursor] = []
+    list_ids: List[int] = []
+    for term in dict.fromkeys(query.terms):
+        term_id = engine.term_id(term)
+        if term_id is None:
+            return QueryProfile(
+                terms=query.terms,
+                mode="conjunctive",
+                physical_lists=0,
+                entries_scanned=0,
+                blocks_read=0,
+                matches=0,
+                used_jump_index=False,
+            )
+        list_id = engine._list_id_for(term_id)
+        posting_list = engine._existing_list(list_id)
+        if posting_list is None or not len(posting_list):
+            return QueryProfile(
+                terms=query.terms,
+                mode="conjunctive",
+                physical_lists=0,
+                entries_scanned=0,
+                blocks_read=0,
+                matches=0,
+                used_jump_index=False,
+            )
+        list_ids.append(list_id)
+        cursors.append(
+            MergedListCursor(
+                posting_list,
+                term_code=term_id,
+                jump_index=engine._jumps.get(list_id),
+                length_hint=engine._term_postings.get(term_id, 0),
+            )
+        )
+    docs, blocks = conjunctive_join(cursors)
+    per_list: Dict[int, int] = {}
+    entries = 0
+    for list_id, cursor in zip(list_ids, cursors):
+        read = cursor.blocks_read()
+        per_list[list_id] = per_list.get(list_id, 0) + read
+        entries += read * cursor._cursor.posting_list.entries_per_block
+    used_jump = any(c.jump_index is not None for c in cursors)
+    return QueryProfile(
+        terms=query.terms,
+        mode="conjunctive",
+        physical_lists=len(set(list_ids)),
+        entries_scanned=entries,
+        blocks_read=blocks,
+        matches=len(docs),
+        used_jump_index=used_jump,
+        per_list_blocks=per_list,
+    )
+
+
+def recommend_configuration(profiles: List[QueryProfile]) -> str:
+    """The Section 4.5 deployment rule, applied to measured profiles.
+
+    "If most queries are disjunctive or involve only two or three
+    keywords, one should use merged posting lists with no jump index.
+    If most queries conjoin many keywords, it is best to use merged
+    posting lists and a jump index with B = 32."
+    """
+    if not profiles:
+        return "no profiles: keep merged posting lists without a jump index"
+    many_keyword = sum(
+        1
+        for p in profiles
+        if p.mode == "conjunctive" and len(p.terms) >= 4
+    )
+    share = many_keyword / len(profiles)
+    if share > 0.5:
+        return (
+            f"{share:.0%} of profiled queries conjoin >= 4 keywords: use "
+            "merged posting lists with a B=32 jump index"
+        )
+    return (
+        f"only {share:.0%} of profiled queries conjoin >= 4 keywords: use "
+        "merged posting lists without a jump index"
+    )

@@ -1,0 +1,107 @@
+"""Similarity scoring: Okapi BM25 and cosine (Section 3.1's measures).
+
+"The documents in the posting lists are assigned scores based on
+similarity measures like cosine or Okapi BM-25.  The scores are used to
+rank the documents."
+
+Collection-level statistics (document frequencies, lengths) are derived
+data: the engine keeps them in application memory and could rebuild them
+from WORM at any time, so they carry no trust weight — Section 5's
+ranking-attack analysis is precisely about an adversary distorting them,
+and the countermeasure is result verification, not protected statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Mapping
+
+
+class CollectionStats:
+    """Incrementally maintained collection statistics for scoring."""
+
+    def __init__(self) -> None:
+        #: Documents containing each term (document frequency).
+        self.df: Dict[int, int] = defaultdict(int)
+        #: Length (total retained tokens) of each document.
+        self.doc_lengths: Dict[int, int] = {}
+        self.total_length = 0
+
+    @property
+    def num_docs(self) -> int:
+        """Number of indexed documents."""
+        return len(self.doc_lengths)
+
+    @property
+    def avg_doc_length(self) -> float:
+        """Mean document length (1.0 floor avoids division by zero)."""
+        if not self.doc_lengths:
+            return 1.0
+        return max(1.0, self.total_length / len(self.doc_lengths))
+
+    def add_document(self, doc_id: int, term_counts: Mapping[int, int]) -> None:
+        """Fold one document's term counts into the statistics."""
+        length = sum(term_counts.values())
+        self.doc_lengths[doc_id] = length
+        self.total_length += length
+        for term in term_counts:
+            self.df[term] += 1
+
+    def doc_length(self, doc_id: int) -> int:
+        """Length of ``doc_id`` (0 for unknown IDs, e.g. stuffed postings)."""
+        return self.doc_lengths.get(doc_id, 0)
+
+
+class BM25Scorer:
+    """Okapi BM25 with the standard k1/b parameterization."""
+
+    def __init__(self, stats: CollectionStats, *, k1: float = 1.2, b: float = 0.75):
+        self.stats = stats
+        self.k1 = k1
+        self.b = b
+
+    def idf(self, term: int) -> float:
+        """Robertson-Sparck-Jones idf, floored at 0 for very common terms."""
+        n = self.stats.num_docs
+        df = self.stats.df.get(term, 0)
+        return max(0.0, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+
+    def score(self, doc_id: int, term_freqs: Mapping[int, int]) -> float:
+        """BM25 score of one document for the query terms in ``term_freqs``.
+
+        ``term_freqs`` maps query term -> within-document frequency (0 or
+        absent terms contribute nothing).
+        """
+        dl = self.stats.doc_length(doc_id)
+        norm = self.k1 * (1 - self.b + self.b * dl / self.stats.avg_doc_length)
+        total = 0.0
+        for term, tf in term_freqs.items():
+            if tf <= 0:
+                continue
+            total += self.idf(term) * (tf * (self.k1 + 1)) / (tf + norm)
+        return total
+
+
+class CosineScorer:
+    """Cosine similarity with log-tf / idf weights (lnc.ltc style)."""
+
+    def __init__(self, stats: CollectionStats):
+        self.stats = stats
+
+    def idf(self, term: int) -> float:
+        """Classic ``log(N / df)`` idf."""
+        df = self.stats.df.get(term, 0)
+        if df == 0:
+            return 0.0
+        return math.log(max(1.0, self.stats.num_docs / df))
+
+    def score(self, doc_id: int, term_freqs: Mapping[int, int]) -> float:
+        """Cosine score, document-normalized by length as a proxy norm."""
+        dl = max(1, self.stats.doc_length(doc_id))
+        total = 0.0
+        for term, tf in term_freqs.items():
+            if tf <= 0:
+                continue
+            total += (1.0 + math.log(tf)) * self.idf(term)
+        return total / math.sqrt(dl)

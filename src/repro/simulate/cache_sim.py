@@ -1,0 +1,123 @@
+"""Figure 2: random I/Os per inserted document vs storage-cache size.
+
+Reproduces the paper's cache simulation (Section 3): posting-list tail
+blocks are cached in the storage server's (initially dirty) non-volatile
+cache; a cache hit on an index-entry write costs nothing unless the
+block fills (one write); a miss writes out the LRU block and reads the
+needed one.
+
+Two modes:
+
+* :func:`ios_per_doc_unmerged` — one posting list per term: the Figure 2
+  curve, which levels off slowly because Zipf-tail terms never stay
+  cached and partial blocks are repeatedly written out;
+* :func:`ios_per_doc_merged` — posting lists merged into ``M = cache
+  blocks`` lists: every update hits the cache, converging to
+  ``postings_per_doc / postings_per_block`` I/Os per document
+  (Section 3's ≈1 I/O figure, the 20×/500× speedups of the abstract).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.merge import TermAssignment
+from repro.core.posting import POSTING_SIZE
+from repro.worm.cache import LRUBlockCache, cache_blocks_for_size
+from repro.worm.iostats import IoStats
+
+
+def _simulate(
+    documents: Iterable,
+    key_for_term,
+    cache_blocks: Optional[int],
+    entries_per_block: int,
+) -> Tuple[IoStats, int]:
+    """Shared tail-block cache simulation.
+
+    ``key_for_term`` maps a term ID to its posting-list cache key (the
+    term itself when unmerged; its merged-list ID otherwise).
+    """
+    io = IoStats()
+    cache = LRUBlockCache(cache_blocks, io=io)
+    tail_fill: Dict[int, int] = {}
+    seen_docs = 0
+    for doc in documents:
+        seen_docs += 1
+        for term in doc.term_ids:
+            key = key_for_term(int(term))
+            first_time = key not in tail_fill
+            cache.access(key, fetch_on_miss=not first_time)
+            fill = tail_fill.get(key, 0) + 1
+            if fill >= entries_per_block:
+                cache.note_block_full(key)
+                fill = 0
+            tail_fill[key] = fill
+    return io, seen_docs
+
+
+def ios_per_doc_unmerged(
+    documents: Sequence,
+    *,
+    cache_size_bytes: int,
+    block_size: int = 4096,
+) -> float:
+    """Average random I/Os per inserted document, one list per term.
+
+    The Figure 2 simulation (the paper's Section 2.3 arithmetic uses
+    4 KB blocks and 8-byte postings).
+    """
+    entries = block_size // POSTING_SIZE
+    io, docs = _simulate(
+        documents,
+        key_for_term=lambda t: t,
+        cache_blocks=cache_blocks_for_size(cache_size_bytes, block_size),
+        entries_per_block=entries,
+    )
+    return io.total / max(1, docs)
+
+
+def ios_per_doc_merged(
+    documents: Sequence,
+    assignment: TermAssignment,
+    *,
+    cache_size_bytes: int,
+    block_size: int = 8192,
+) -> float:
+    """Average random I/Os per inserted document with merged lists.
+
+    With ``assignment.num_lists <= cache blocks``, every tail append
+    hits; the only I/O left is the write when a block fills.
+    """
+    entries = block_size // POSTING_SIZE
+    list_ids = assignment.list_ids
+    io, docs = _simulate(
+        documents,
+        key_for_term=lambda t: int(list_ids[t]),
+        cache_blocks=cache_blocks_for_size(cache_size_bytes, block_size),
+        entries_per_block=entries,
+    )
+    return io.total / max(1, docs)
+
+
+def figure2_sweep(
+    documents: Sequence,
+    cache_sizes_bytes: Sequence[int],
+    *,
+    block_size: int = 4096,
+) -> List[Tuple[int, float]]:
+    """The Figure 2 series: ``(cache size, I/Os per document)`` points."""
+    return [
+        (size, ios_per_doc_unmerged(documents, cache_size_bytes=size, block_size=block_size))
+        for size in cache_sizes_bytes
+    ]
+
+
+def analytic_merged_ios_per_doc(
+    postings_per_doc: float, *, block_size: int = 4096
+) -> float:
+    """Section 2.3's arithmetic: ``postings_per_doc * 8 / block_size``.
+
+    The paper's "500 * 8 / 4096 ≈ 1 random I/O per document insertion".
+    """
+    return postings_per_doc * POSTING_SIZE / block_size

@@ -1,0 +1,178 @@
+"""Figures 3(c)-3(i): workload-cost behaviour of the merging strategies.
+
+All experiments here are analytic over the ``ti``/``qi`` statistics (the
+paper's workload cost model of Section 3.1), so full sweeps run in
+milliseconds and the benchmark harness can afford many configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cost_model import (
+    cost_ratio,
+    per_query_costs,
+    per_query_unmerged_costs,
+    query_slowdowns,
+)
+from repro.core.epochs import learn_popular_terms
+from repro.core.merge import PopularUnmergedMerge, UniformHashMerge, lists_for_cache
+from repro.errors import WorkloadError
+from repro.workloads.stats import WorkloadStats
+
+#: The paper's Figure 3(d)-(g) x-axis, in bytes (4 MB .. 512 MB).
+DEFAULT_CACHE_SIZES = tuple((1 << 22) * (2**i) for i in range(8))
+
+#: The paper's Figure 3(d)-(g) unmerged-popular-term counts.
+DEFAULT_UNMERGED_COUNTS = (0, 1_000, 10_000)
+
+
+def strategy_for(
+    num_lists: int,
+    stats: WorkloadStats,
+    *,
+    unmerged_terms: int,
+    by: Optional[str],
+):
+    """Build the merging strategy of Figures 3(d)/3(e).
+
+    ``unmerged_terms == 0`` (or ``by is None``) is uniform merging; the
+    popular set otherwise comes from ``stats`` ranked by ``by``.
+    """
+    if unmerged_terms == 0 or by is None:
+        return UniformHashMerge(num_lists)
+    if unmerged_terms >= num_lists:
+        raise WorkloadError(
+            f"cannot keep {unmerged_terms} terms unmerged in {num_lists} lists"
+        )
+    popular = learn_popular_terms(stats, unmerged_terms, by=by)
+    return PopularUnmergedMerge(num_lists, popular)
+
+
+def cost_ratio_sweep(
+    stats: WorkloadStats,
+    *,
+    cache_sizes_bytes: Sequence[int] = DEFAULT_CACHE_SIZES,
+    block_size: int = 8192,
+    unmerged_terms: int = 0,
+    by: Optional[str] = None,
+    learned_stats: Optional[WorkloadStats] = None,
+) -> List[Tuple[int, float]]:
+    """``(cache size, Q ratio)`` series — one curve of Figures 3(d)-3(g).
+
+    ``learned_stats``, when given, supplies the statistics used to pick
+    the popular (unmerged) terms while the *cost* is always evaluated on
+    the true ``stats`` — exactly the Figures 3(f)/3(g) learning
+    experiment ("use the first 10% of the documents and queries to make
+    merging decisions for the entire index").
+    """
+    ranking_stats = learned_stats if learned_stats is not None else stats
+    series: List[Tuple[int, float]] = []
+    for cache_bytes in cache_sizes_bytes:
+        num_lists = lists_for_cache(cache_bytes, block_size)
+        # When the cache affords fewer lists than the requested popular
+        # set, cap at half the lists: dedicating nearly all lists to
+        # popular terms would crush the remaining terms into a handful of
+        # giant lists, a configuration no deployment would choose.
+        effective_unmerged = min(unmerged_terms, num_lists // 2)
+        strategy = strategy_for(
+            num_lists, ranking_stats, unmerged_terms=effective_unmerged, by=by
+        )
+        assignment = strategy.assign(stats.num_terms)
+        series.append((cache_bytes, cost_ratio(assignment, stats)))
+    return series
+
+
+def figure3d_to_3g(
+    stats: WorkloadStats,
+    *,
+    cache_sizes_bytes: Sequence[int] = DEFAULT_CACHE_SIZES,
+    block_size: int = 8192,
+    unmerged_counts: Sequence[int] = DEFAULT_UNMERGED_COUNTS,
+    by: str = "qi",
+    learned_stats: Optional[WorkloadStats] = None,
+) -> Dict[int, List[Tuple[int, float]]]:
+    """All curves of one Figure 3(d)/(e)/(f)/(g) panel, keyed by term count."""
+    return {
+        count: cost_ratio_sweep(
+            stats,
+            cache_sizes_bytes=cache_sizes_bytes,
+            block_size=block_size,
+            unmerged_terms=count,
+            by=by if count else None,
+            learned_stats=learned_stats,
+        )
+        for count in unmerged_counts
+    }
+
+
+@dataclass
+class QueryCostDistribution:
+    """Per-query cost CDF data for Figures 3(h)/3(i)."""
+
+    #: Sorted per-query scan costs (posting entries) — one array per
+    #: configuration label ('unmerged', '32 MB', ...).
+    sorted_costs: Dict[str, np.ndarray]
+
+    def percentile(self, label: str, pct: float) -> float:
+        """Cost at percentile ``pct`` of configuration ``label``."""
+        costs = self.sorted_costs[label]
+        idx = min(len(costs) - 1, int(pct / 100.0 * len(costs)))
+        return float(costs[idx])
+
+
+def figure3h(
+    queries: Sequence[Sequence[int]],
+    stats: WorkloadStats,
+    *,
+    cache_sizes_bytes: Sequence[int] = ((1 << 25), (1 << 26), (1 << 29)),
+    block_size: int = 8192,
+) -> QueryCostDistribution:
+    """Cumulative query-cost distributions: unmerged vs merged configs.
+
+    The paper plots 32 MB, 64 MB and 512 MB uniform-merging caches
+    against the unmerged distribution (log-scale x); merging inflates the
+    cheap end of the distribution and leaves the expensive end alone.
+    """
+    term_lists = [list(q) for q in queries]
+    out: Dict[str, np.ndarray] = {
+        "unmerged": np.sort(per_query_unmerged_costs(term_lists, stats))
+    }
+    for cache_bytes in cache_sizes_bytes:
+        num_lists = lists_for_cache(cache_bytes, block_size)
+        assignment = UniformHashMerge(num_lists).assign(stats.num_terms)
+        label = f"{cache_bytes // (1 << 20)} MB"
+        out[label] = np.sort(per_query_costs(term_lists, assignment, stats))
+    return QueryCostDistribution(sorted_costs=out)
+
+
+def figure3i(
+    queries: Sequence[Sequence[int]],
+    stats: WorkloadStats,
+    *,
+    cache_size_bytes: int = 1 << 29,
+    block_size: int = 8192,
+    percentiles: Sequence[int] = tuple(range(0, 100, 10)),
+) -> List[Tuple[int, float]]:
+    """Query slowdown vs query-cost percentile (512 MB uniform merging).
+
+    Returns mean slowdown within each decile of the unmerged-cost
+    ordering: cheap queries (low percentiles) slow down the most; the
+    longest-running half shows no visible slowdown.
+    """
+    term_lists = [list(q) for q in queries]
+    num_lists = lists_for_cache(cache_size_bytes, block_size)
+    assignment = UniformHashMerge(num_lists).assign(stats.num_terms)
+    merged = per_query_costs(term_lists, assignment, stats)
+    unmerged = per_query_unmerged_costs(term_lists, stats)
+    ratios = query_slowdowns(merged, unmerged)
+    out: List[Tuple[int, float]] = []
+    n = len(ratios)
+    for pct in percentiles:
+        lo = int(pct / 100.0 * n)
+        hi = min(n, int((pct + 10) / 100.0 * n)) or (lo + 1)
+        out.append((pct, float(np.mean(ratios[lo:hi]))))
+    return out

@@ -1,0 +1,160 @@
+"""Shared construction of the scaled synthetic workload.
+
+Every figure harness runs against the same corpus + query log so that
+cross-figure numbers (e.g. the Section 6 conclusion composite) are
+internally consistent.  Construction is cached per scale: the expensive
+parts — materialized documents and the ``ti``/``qi`` statistics — are
+computed once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator, SyntheticDocument
+from repro.workloads.queries import QueryLogConfig, QueryLogGenerator, SyntheticQuery
+from repro.workloads.stats import WorkloadStats
+
+
+@dataclass(frozen=True)
+class Scale:
+    """A named workload size.
+
+    ``paper()`` mirrors the publication (1M docs / 300k queries); the
+    smaller presets keep benchmark wall-clock in check while preserving
+    the distributional parameters every figure depends on.
+    """
+
+    num_docs: int
+    vocabulary_size: int
+    num_queries: int
+    mean_terms_per_doc: float
+
+    @classmethod
+    def tiny(cls) -> "Scale":
+        """CI-speed smoke scale."""
+        return cls(2_000, 20_000, 4_000, 60.0)
+
+    @classmethod
+    def small(cls) -> "Scale":
+        """Default benchmark scale (minutes for the whole suite)."""
+        return cls(10_000, 60_000, 20_000, 90.0)
+
+    @classmethod
+    def medium(cls) -> "Scale":
+        """Higher-fidelity scale for overnight runs."""
+        return cls(50_000, 200_000, 60_000, 150.0)
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        """The publication's workload size (expect hours in pure Python)."""
+        return cls(1_000_000, 1_000_000, 300_000, 500.0)
+
+
+@dataclass
+class Workload:
+    """Materialized workload shared by the figure harnesses."""
+
+    scale: Scale
+    corpus: CorpusGenerator
+    query_log: QueryLogGenerator
+    documents: List[SyntheticDocument]
+    queries: List[SyntheticQuery]
+    stats: WorkloadStats
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Term-universe size."""
+        return self.scale.vocabulary_size
+
+    def queries_with_terms(self, num_terms: int, *, limit: int) -> List[SyntheticQuery]:
+        """Up to ``limit`` queries with exactly ``num_terms`` keywords.
+
+        Figure 8(c) sweeps 2-7 keywords; logs are skewed toward short
+        queries, so missing sizes are synthesized by extending shorter
+        queries with further draws from the query-popularity profile.
+        """
+        exact = [q for q in self.queries if q.num_terms == num_terms][:limit]
+        if len(exact) >= limit:
+            return exact
+        # Deterministically extend shorter queries to the requested size.
+        rng = np.random.default_rng(num_terms * 7919 + 13)
+        popularity = self.query_log.query_popularity()
+        candidates = [q for q in self.queries if q.num_terms < num_terms]
+        out = list(exact)
+        from repro.workloads.zipf import ZipfSampler
+
+        sampler = ZipfSampler(
+            self.scale.vocabulary_size, 1.0, rng=rng, weights=popularity
+        )
+        for query in candidates:
+            if len(out) >= limit:
+                break
+            terms = list(query.term_ids)
+            while len(terms) < num_terms:
+                t = int(sampler.sample_one())
+                if t not in terms:
+                    terms.append(t)
+            out.append(
+                SyntheticQuery(query_id=10_000_000 + len(out), term_ids=tuple(terms))
+            )
+        return out
+
+
+def _scale_key(scale: Scale) -> Tuple[int, int, int, float]:
+    return (
+        scale.num_docs,
+        scale.vocabulary_size,
+        scale.num_queries,
+        scale.mean_terms_per_doc,
+    )
+
+
+@lru_cache(maxsize=4)
+def _build(key: Tuple[int, int, int, float]) -> Workload:
+    num_docs, vocabulary_size, num_queries, mean_terms = key
+    scale = Scale(num_docs, vocabulary_size, num_queries, mean_terms)
+    corpus = CorpusGenerator(
+        CorpusConfig(
+            num_docs=num_docs,
+            vocabulary_size=vocabulary_size,
+            mean_terms_per_doc=mean_terms,
+            zipf_s=1.1,
+            seed=7,
+        )
+    )
+    query_log = QueryLogGenerator(
+        QueryLogConfig(
+            num_queries=num_queries,
+            vocabulary_size=vocabulary_size,
+            zipf_s=1.1,
+            seed=11,
+        )
+    )
+    documents = list(corpus.documents())
+    queries = list(query_log.queries())
+    ti = np.zeros(vocabulary_size, dtype=np.int64)
+    for doc in documents:
+        ti[doc.term_ids] += 1
+    qi = np.zeros(vocabulary_size, dtype=np.int64)
+    for query in queries:
+        for term in query.term_ids:
+            qi[term] += 1
+    stats = WorkloadStats(ti=ti, qi=qi)
+    return Workload(
+        scale=scale,
+        corpus=corpus,
+        query_log=query_log,
+        documents=documents,
+        queries=queries,
+        stats=stats,
+    )
+
+
+def get_workload(scale: Scale) -> Workload:
+    """The (cached) materialized workload for ``scale``."""
+    return _build(_scale_key(scale))

@@ -1,0 +1,177 @@
+"""Synthetic document corpus calibrated to the paper's reported statistics.
+
+The generator reproduces, at any scale, the corpus properties that the
+paper's experiments depend on:
+
+* Zipfian distribution of term document-frequencies (Figure 3(a));
+* configurable mean number of *distinct* terms per document — "each
+  document contains almost 500 keywords on average" (Section 2.3);
+* monotonically increasing document IDs assigned by an insertion counter
+  (Section 4.1), which is what makes jump indexes applicable.
+
+Scaling note: the paper uses 1M documents over a >1M-term vocabulary.  The
+default :class:`CorpusConfig` is deliberately smaller so the full benchmark
+suite regenerates in minutes; every knob needed to run at paper scale is a
+constructor parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.vocabulary import Vocabulary
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Parameters of a synthetic corpus.
+
+    Attributes
+    ----------
+    num_docs:
+        Number of documents to generate.
+    vocabulary_size:
+        Number of distinct terms in the universe.
+    mean_terms_per_doc:
+        Target mean number of term *draws* per document.  The number of
+        distinct terms per document lands somewhat below this because
+        popular terms repeat within a document (as in real text).
+    zipf_s:
+        Zipf exponent of the term-frequency distribution.
+    doc_length_sigma:
+        Log-normal shape parameter for per-document length variation
+        (``0`` gives constant-length documents).
+    seed:
+        Master seed; the generator is fully deterministic given the config.
+    """
+
+    num_docs: int = 10_000
+    vocabulary_size: int = 50_000
+    mean_terms_per_doc: float = 100.0
+    zipf_s: float = 1.1
+    doc_length_sigma: float = 0.4
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_docs <= 0:
+            raise WorkloadError(f"num_docs must be positive, got {self.num_docs}")
+        if self.vocabulary_size <= 0:
+            raise WorkloadError(
+                f"vocabulary_size must be positive, got {self.vocabulary_size}"
+            )
+        if self.mean_terms_per_doc <= 0:
+            raise WorkloadError(
+                f"mean_terms_per_doc must be positive, got {self.mean_terms_per_doc}"
+            )
+        if self.doc_length_sigma < 0:
+            raise WorkloadError(
+                f"doc_length_sigma must be non-negative, got {self.doc_length_sigma}"
+            )
+
+
+@dataclass
+class SyntheticDocument:
+    """One generated document.
+
+    Attributes
+    ----------
+    doc_id:
+        Monotonically increasing insertion-order ID (0-based).
+    term_ids:
+        Sorted array of *distinct* term IDs occurring in the document.
+    term_counts:
+        Occurrence count of each distinct term (parallel to ``term_ids``);
+        used by the ranking scorers.
+    """
+
+    doc_id: int
+    term_ids: np.ndarray
+    term_counts: np.ndarray
+
+    @property
+    def num_distinct_terms(self) -> int:
+        """Number of distinct terms in the document."""
+        return len(self.term_ids)
+
+    @property
+    def length(self) -> int:
+        """Total term occurrences (document length in tokens)."""
+        return int(self.term_counts.sum())
+
+    def text(self, vocabulary: Vocabulary) -> str:
+        """Render the document as whitespace-joined words.
+
+        Term order is by term ID (synthetic documents carry no word order);
+        each term appears as many times as its count so tokenizers and
+        scorers see realistic frequencies.
+        """
+        words: List[str] = []
+        for term_id, count in zip(self.term_ids, self.term_counts):
+            words.extend([vocabulary.word(int(term_id))] * int(count))
+        return " ".join(words)
+
+
+class CorpusGenerator:
+    """Streaming generator of :class:`SyntheticDocument` objects.
+
+    Iterating the generator yields documents in insertion order with
+    consecutive IDs starting at ``first_doc_id``.  Iteration can be
+    restarted; the same config and seed always produce the same corpus.
+    """
+
+    def __init__(self, config: Optional[CorpusConfig] = None, *, first_doc_id: int = 0):
+        self.config = config or CorpusConfig()
+        self.first_doc_id = first_doc_id
+
+    def documents(self) -> Iterator[SyntheticDocument]:
+        """Yield the configured number of documents, deterministically."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        sampler = ZipfSampler(cfg.vocabulary_size, cfg.zipf_s, rng=rng)
+        lengths = self._draw_lengths(rng)
+        # One bulk draw for the whole corpus keeps numpy overhead per
+        # document negligible.
+        draws = sampler.sample(int(lengths.sum()))
+        cursor = 0
+        for i, length in enumerate(lengths):
+            doc_draws = draws[cursor : cursor + length]
+            cursor += length
+            term_ids, term_counts = np.unique(doc_draws, return_counts=True)
+            yield SyntheticDocument(
+                doc_id=self.first_doc_id + i,
+                term_ids=term_ids,
+                term_counts=term_counts,
+            )
+
+    def __iter__(self) -> Iterator[SyntheticDocument]:
+        return self.documents()
+
+    def _draw_lengths(self, rng: np.random.Generator) -> np.ndarray:
+        """Per-document token counts (log-normal around the configured mean)."""
+        cfg = self.config
+        if cfg.doc_length_sigma == 0:
+            return np.full(cfg.num_docs, int(round(cfg.mean_terms_per_doc)), dtype=np.int64)
+        # Parameterize the log-normal so its mean equals mean_terms_per_doc.
+        mu = np.log(cfg.mean_terms_per_doc) - 0.5 * cfg.doc_length_sigma**2
+        lengths = rng.lognormal(mu, cfg.doc_length_sigma, size=cfg.num_docs)
+        return np.maximum(1, np.round(lengths)).astype(np.int64)
+
+    def term_document_frequencies(self) -> np.ndarray:
+        """Document frequency ``ti`` of every term (array of length V).
+
+        ``ti`` is the length of term *i*'s unmerged posting list — the
+        quantity the paper's workload-cost model is built on.  Computed by
+        a full pass over the corpus (still deterministic).
+        """
+        counts = np.zeros(self.config.vocabulary_size, dtype=np.int64)
+        for doc in self.documents():
+            counts[doc.term_ids] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CorpusGenerator({self.config})"

@@ -1,0 +1,214 @@
+"""Workload traces: run the experiment harness on your own data.
+
+The simulation and benchmark harnesses consume streams of
+:class:`~repro.workloads.corpus.SyntheticDocument` and
+:class:`~repro.workloads.queries.SyntheticQuery`.  This module round-trips
+those streams to JSON-lines files and builds them from raw text, so the
+paper's experiments can be replayed on a real corpus and query log
+instead of the synthetic substitutes:
+
+* :func:`save_corpus` / :func:`load_corpus` — document term vectors;
+* :func:`save_queries` / :func:`load_queries` — query term tuples;
+* :func:`corpus_from_texts` — analyze raw document texts into a trace
+  plus the vocabulary mapping used;
+* :func:`queries_from_strings` — analyze raw query strings against that
+  vocabulary.
+
+Format (one JSON object per line)::
+
+    {"doc_id": 0, "terms": [[12, 3], [40, 1]]}     # corpus line
+    {"query_id": 0, "terms": [12, 7]}              # query line
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.corpus import SyntheticDocument
+from repro.workloads.queries import SyntheticQuery
+from repro.workloads.stats import WorkloadStats
+
+
+# ----------------------------------------------------------------------
+# corpus traces
+# ----------------------------------------------------------------------
+def save_corpus(documents: Iterable[SyntheticDocument], path: str) -> int:
+    """Write a corpus trace; returns the number of documents written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for doc in documents:
+            terms = [
+                [int(t), int(c)] for t, c in zip(doc.term_ids, doc.term_counts)
+            ]
+            handle.write(
+                json.dumps({"doc_id": doc.doc_id, "terms": terms}) + "\n"
+            )
+            count += 1
+    return count
+
+
+def load_corpus(path: str) -> List[SyntheticDocument]:
+    """Read a corpus trace written by :func:`save_corpus`.
+
+    Validates the monotonic-document-ID invariant every index here
+    relies on.
+    """
+    documents: List[SyntheticDocument] = []
+    last_id = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            doc_id = int(data["doc_id"])
+            if doc_id <= last_id:
+                raise WorkloadError(
+                    f"{path}:{line_no + 1}: doc_id {doc_id} not increasing"
+                )
+            last_id = doc_id
+            terms = sorted((int(t), int(c)) for t, c in data["terms"])
+            documents.append(
+                SyntheticDocument(
+                    doc_id=doc_id,
+                    term_ids=np.asarray([t for t, _ in terms], dtype=np.int64),
+                    term_counts=np.asarray([c for _, c in terms], dtype=np.int64),
+                )
+            )
+    return documents
+
+
+# ----------------------------------------------------------------------
+# query traces
+# ----------------------------------------------------------------------
+def save_queries(queries: Iterable[SyntheticQuery], path: str) -> int:
+    """Write a query trace; returns the number of queries written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for query in queries:
+            handle.write(
+                json.dumps(
+                    {"query_id": query.query_id, "terms": list(query.term_ids)}
+                )
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def load_queries(path: str) -> List[SyntheticQuery]:
+    """Read a query trace written by :func:`save_queries`."""
+    queries: List[SyntheticQuery] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            queries.append(
+                SyntheticQuery(
+                    query_id=int(data["query_id"]),
+                    term_ids=tuple(int(t) for t in data["terms"]),
+                )
+            )
+    return queries
+
+
+# ----------------------------------------------------------------------
+# building traces from raw text
+# ----------------------------------------------------------------------
+def corpus_from_texts(
+    texts: Sequence[str], *, analyzer=None
+) -> Tuple[List[SyntheticDocument], Dict[str, int]]:
+    """Analyze raw document texts into a corpus trace.
+
+    Returns ``(documents, vocabulary)`` where the vocabulary maps each
+    term string to the integer ID used in the trace (assigned in order
+    of first appearance, so popular early terms get small IDs).
+    """
+    from repro.search.analyzer import Analyzer
+
+    if analyzer is None:
+        analyzer = Analyzer()
+    vocabulary: Dict[str, int] = {}
+    documents: List[SyntheticDocument] = []
+    for doc_id, text in enumerate(texts):
+        counts = analyzer.term_counts(text)
+        id_counts: Dict[int, int] = {}
+        for term, count in counts.items():
+            term_id = vocabulary.setdefault(term, len(vocabulary))
+            id_counts[term_id] = count
+        ordered = sorted(id_counts.items())
+        documents.append(
+            SyntheticDocument(
+                doc_id=doc_id,
+                term_ids=np.asarray([t for t, _ in ordered], dtype=np.int64),
+                term_counts=np.asarray([c for _, c in ordered], dtype=np.int64),
+            )
+        )
+    return documents, vocabulary
+
+
+def queries_from_strings(
+    queries: Sequence[str],
+    vocabulary: Dict[str, int],
+    *,
+    analyzer=None,
+    skip_unknown_terms: bool = True,
+) -> List[SyntheticQuery]:
+    """Analyze raw query strings against an existing vocabulary.
+
+    Unknown terms are dropped (``skip_unknown_terms=True``, matching a
+    real engine where they simply have no postings) or raise.
+    Queries with no known terms are omitted.
+    """
+    from repro.search.analyzer import Analyzer
+
+    if analyzer is None:
+        analyzer = Analyzer()
+    out: List[SyntheticQuery] = []
+    for raw in queries:
+        term_ids: List[int] = []
+        for term in analyzer.query_terms(raw):
+            if term in vocabulary:
+                term_ids.append(vocabulary[term])
+            elif not skip_unknown_terms:
+                raise WorkloadError(f"query term '{term}' not in vocabulary")
+        if term_ids:
+            out.append(
+                SyntheticQuery(query_id=len(out), term_ids=tuple(term_ids))
+            )
+    return out
+
+
+def stats_from_traces(
+    documents: Sequence[SyntheticDocument],
+    queries: Sequence[SyntheticQuery],
+    *,
+    vocabulary_size: int = 0,
+) -> WorkloadStats:
+    """Compute the ``ti``/``qi`` statistics of loaded traces.
+
+    ``vocabulary_size`` may be given explicitly; otherwise it is inferred
+    as one past the largest term ID seen.
+    """
+    max_term = -1
+    for doc in documents:
+        if len(doc.term_ids):
+            max_term = max(max_term, int(doc.term_ids.max()))
+    for query in queries:
+        if query.term_ids:
+            max_term = max(max_term, max(query.term_ids))
+    size = max(vocabulary_size, max_term + 1, 1)
+    ti = np.zeros(size, dtype=np.int64)
+    qi = np.zeros(size, dtype=np.int64)
+    for doc in documents:
+        ti[doc.term_ids] += 1
+    for query in queries:
+        for term in query.term_ids:
+            qi[term] += 1
+    return WorkloadStats(ti=ti, qi=qi)

@@ -1,0 +1,110 @@
+"""Deterministic synthetic vocabulary with readable term strings.
+
+The search-engine layer works on term *strings* (what a tokenizer emits),
+while the simulation layer works on integer term *IDs* (array indices into
+``ti``/``qi`` statistics).  :class:`Vocabulary` is the bijection between the
+two.
+
+Term strings are synthesized as pronounceable lowercase words so that the
+examples read like real search sessions, with a small prefix of genuinely
+common business-English words occupying the most popular ranks (so demos
+like "query for 'report meeting'" behave the way the rank statistics say
+they should).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import WorkloadError
+
+#: Common business-English words assigned to the most popular ranks, in
+#: rough order of ubiquity.  Includes 'following', the paper's example of a
+#: term common in documents but rarely queried.
+_COMMON_WORDS: List[str] = [
+    "report", "meeting", "project", "team", "please", "review", "update",
+    "schedule", "budget", "client", "email", "attached", "following",
+    "document", "policy", "request", "office", "manager", "system", "data",
+    "plan", "week", "time", "call", "group", "change", "issue", "status",
+    "product", "service", "market", "sales", "quarter", "revenue", "audit",
+    "record", "retention", "storage", "index", "search", "query", "server",
+    "network", "account", "contract", "legal", "finance", "development",
+    "quality", "customer",
+]
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+
+
+def _synthetic_word(term_id: int) -> str:
+    """Deterministic pronounceable word for a term ID.
+
+    Encodes ``term_id`` in base ``len(consonants) * len(vowels)`` as
+    alternating consonant-vowel syllables, guaranteeing uniqueness and a
+    stable mapping across runs.
+    """
+    base = len(_CONSONANTS) * len(_VOWELS)
+    syllables = []
+    value = term_id
+    while True:
+        digit = value % base
+        syllables.append(_CONSONANTS[digit // len(_VOWELS)] + _VOWELS[digit % len(_VOWELS)])
+        value //= base
+        if value == 0:
+            break
+    # A fixed suffix syllable keeps synthetic words from colliding with the
+    # common-word prefix list.
+    return "".join(reversed(syllables)) + "x"
+
+
+class Vocabulary:
+    """Bijection between term IDs ``0 .. size-1`` and term strings.
+
+    Rank 0 is, by convention, the most document-frequent term; generators
+    in this package sample term IDs under that convention.
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise WorkloadError(f"vocabulary size must be positive, got {size}")
+        self.size = size
+        self._words: List[str] = []
+        self._ids: Dict[str, int] = {}
+        for term_id in range(size):
+            if term_id < len(_COMMON_WORDS):
+                word = _COMMON_WORDS[term_id]
+            else:
+                word = _synthetic_word(term_id)
+            self._words.append(word)
+            self._ids[word] = term_id
+
+    def word(self, term_id: int) -> str:
+        """The term string for ``term_id``."""
+        if not 0 <= term_id < self.size:
+            raise WorkloadError(
+                f"term id {term_id} out of range [0, {self.size})"
+            )
+        return self._words[term_id]
+
+    def term_id(self, word: str) -> int:
+        """The term ID for ``word``; raises if unknown."""
+        try:
+            return self._ids[word]
+        except KeyError:
+            raise WorkloadError(f"unknown vocabulary word '{word}'") from None
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._ids
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._words)
+
+    def words(self, term_ids) -> List[str]:
+        """Map an iterable of term IDs to their strings."""
+        return [self.word(int(t)) for t in term_ids]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vocabulary(size={self.size})"

@@ -1,0 +1,268 @@
+"""Journaled WORM device: durable storage on the host filesystem.
+
+The in-memory :class:`~repro.worm.device.WormDevice` simulates the
+paper's storage box for experiments; :class:`JournaledWormDevice` makes
+the same semantics *durable* by writing every mutating operation to an
+append-only journal file before applying it, and replaying the journal
+on open. The journal is itself WORM-shaped: records are only ever
+appended, each protected by a CRC32, with a strictly increasing sequence
+number — so offline tampering with the journal (edits, reordering,
+splices) is detected at replay time, exactly in the spirit of the
+paper's read-time monotonicity checks.
+
+Journal record format (little-endian)::
+
+    u32 crc32( everything after this field )
+    u64 sequence number
+    u8  opcode
+    u16 name length | name bytes          (opcodes with a file name)
+    ... opcode-specific fields ...
+
+A torn final record (power loss mid-append) is distinguishable from
+tampering: it fails to parse *and* is the suffix of the journal; replay
+truncates it and continues, because the paper's commit contract is that
+an operation counts once it is fully on stable storage.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from typing import BinaryIO, Optional
+
+from repro.errors import TamperDetectedError, WormError
+from repro.worm.device import DEFAULT_BLOCK_SIZE, WormDevice, WormFile
+
+_OP_CREATE = 1
+_OP_APPEND = 2
+_OP_SET_SLOT = 3
+_OP_DELETE = 4
+
+_HEADER = struct.Struct("<IQB")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+
+class _JournaledWormFile(WormFile):
+    """WormFile that journals appends and slot assignments."""
+
+    __slots__ = ("_journal",)
+
+    def __init__(self, name, *, journal: "JournaledWormDevice", **kwargs):
+        super().__init__(name, **kwargs)
+        self._journal = journal
+
+    def append_record(self, payload: bytes, *, force_new_block: bool = False):
+        if not self._journal.replaying:
+            self._journal.log_append(self.name, payload, force_new_block)
+        return super().append_record(payload, force_new_block=force_new_block)
+
+    def set_slot(self, block_no: int, slot_no: int, value: int) -> None:
+        if not self._journal.replaying:
+            self._journal.log_set_slot(self.name, block_no, slot_no, value)
+        super().set_slot(block_no, slot_no, value)
+
+
+class JournaledWormDevice(WormDevice):
+    """A WORM device whose full state is journaled to one host file.
+
+    Parameters
+    ----------
+    path:
+        Journal file path.  Created if missing; replayed if present.
+    block_size:
+        Default block size for new files (must match across sessions;
+        recorded per file in the journal).
+    fsync:
+        Call ``os.fsync`` after every journal write.  Durable but slow;
+        defaults to off for experiments.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        fsync: bool = False,
+    ):
+        super().__init__(block_size=block_size)
+        self.path = path
+        self.fsync = fsync
+        self._sequence = 0
+        #: True while the constructor replays history (suppresses logging).
+        self.replaying = False
+        existing = os.path.exists(path) and os.path.getsize(path) > 0
+        self._journal_file: BinaryIO = open(path, "ab")
+        if existing:
+            self._replay()
+
+    # ------------------------------------------------------------------
+    # file factory / namespace ops (journaled)
+    # ------------------------------------------------------------------
+    def _new_file(self, name: str, **kwargs) -> WormFile:
+        return _JournaledWormFile(name, journal=self, **kwargs)
+
+    def create_file(self, name, **kwargs):
+        worm_file = super().create_file(name, **kwargs)
+        if not self.replaying:
+            self._log_create(worm_file)
+        return worm_file
+
+    def delete_file(self, name: str, *, now: Optional[float] = None) -> None:
+        super().delete_file(name, now=now)
+        if not self.replaying:
+            body = self._name_bytes(name) + _F64.pack(now if now is not None else -1.0)
+            self._write_record(_OP_DELETE, body)
+
+    # ------------------------------------------------------------------
+    # journal writing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _name_bytes(name: str) -> bytes:
+        raw = name.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise WormError(f"file name too long to journal: {len(raw)} bytes")
+        return _U16.pack(len(raw)) + raw
+
+    def _write_record(self, opcode: int, body: bytes) -> None:
+        tail = _U64.pack(self._sequence) + bytes([opcode]) + body
+        self._journal_file.write(_U32.pack(zlib.crc32(tail)) + _U16.pack(len(tail)) + tail)
+        self._journal_file.flush()
+        if self.fsync:
+            os.fsync(self._journal_file.fileno())
+        self._sequence += 1
+
+    def _log_create(self, worm_file: WormFile) -> None:
+        retention = (
+            worm_file.retention_until
+            if worm_file.retention_until is not None
+            else -1.0
+        )
+        body = (
+            self._name_bytes(worm_file.name)
+            + _U32.pack(worm_file.block_size)
+            + _U32.pack(worm_file.slot_count)
+            + _F64.pack(retention)
+        )
+        self._write_record(_OP_CREATE, body)
+
+    def log_append(self, name: str, payload: bytes, force_new_block: bool) -> None:
+        """Journal one data append (called by the file before applying)."""
+        body = (
+            self._name_bytes(name)
+            + bytes([1 if force_new_block else 0])
+            + _U32.pack(len(payload))
+            + payload
+        )
+        self._write_record(_OP_APPEND, body)
+
+    def log_set_slot(self, name: str, block_no: int, slot_no: int, value: int) -> None:
+        """Journal one write-once slot assignment."""
+        body = (
+            self._name_bytes(name)
+            + _U32.pack(block_no)
+            + _U32.pack(slot_no)
+            + _U64.pack(value)
+        )
+        self._write_record(_OP_SET_SLOT, body)
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def _replay(self) -> None:
+        self.replaying = True
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+            offset = 0
+            expected_seq = 0
+            while offset < len(data):
+                parsed = self._parse_record(data, offset, expected_seq)
+                if parsed is None:
+                    # Torn tail: only acceptable as the journal's suffix.
+                    break
+                offset, opcode, body = parsed
+                self._apply(opcode, body)
+                expected_seq += 1
+            self._sequence = expected_seq
+            if offset < len(data):
+                # Something unparseable before EOF that is not a clean
+                # suffix would have raised in _parse_record; reaching here
+                # means a torn trailing record, which we discard.
+                pass
+        finally:
+            self.replaying = False
+
+    def _parse_record(self, data: bytes, offset: int, expected_seq: int):
+        if offset + 6 > len(data):
+            return None  # torn length header
+        (crc,) = _U32.unpack_from(data, offset)
+        (length,) = _U16.unpack_from(data, offset + 4)
+        start = offset + 6
+        end = start + length
+        if end > len(data):
+            return None  # torn body
+        tail = data[start:end]
+        if zlib.crc32(tail) != crc:
+            raise TamperDetectedError(
+                f"journal record at byte {offset} fails its CRC",
+                location=f"journal '{self.path}'",
+                invariant="journal-crc",
+            )
+        seq, opcode = _U64.unpack_from(tail, 0)[0], tail[8]
+        if seq != expected_seq:
+            raise TamperDetectedError(
+                f"journal record at byte {offset} claims sequence {seq}, "
+                f"expected {expected_seq}",
+                location=f"journal '{self.path}'",
+                invariant="journal-sequence",
+            )
+        return end, opcode, tail[9:]
+
+    def _apply(self, opcode: int, body: bytes) -> None:
+        (name_len,) = _U16.unpack_from(body, 0)
+        name = body[2 : 2 + name_len].decode("utf-8")
+        cursor = 2 + name_len
+        if opcode == _OP_CREATE:
+            (block_size,) = _U32.unpack_from(body, cursor)
+            (slot_count,) = _U32.unpack_from(body, cursor + 4)
+            (retention,) = _F64.unpack_from(body, cursor + 8)
+            self.create_file(
+                name,
+                block_size=block_size,
+                slot_count=slot_count,
+                retention_until=None if retention < 0 else retention,
+            )
+        elif opcode == _OP_APPEND:
+            force_new = bool(body[cursor])
+            (length,) = _U32.unpack_from(body, cursor + 1)
+            payload = body[cursor + 5 : cursor + 5 + length]
+            self.open_file(name).append_record(payload, force_new_block=force_new)
+        elif opcode == _OP_SET_SLOT:
+            (block_no,) = _U32.unpack_from(body, cursor)
+            (slot_no,) = _U32.unpack_from(body, cursor + 4)
+            (value,) = _U64.unpack_from(body, cursor + 8)
+            self.open_file(name).set_slot(block_no, slot_no, value)
+        elif opcode == _OP_DELETE:
+            (now,) = _F64.unpack_from(body, cursor)
+            self.delete_file(name, now=None if now < 0 else now)
+        else:
+            raise TamperDetectedError(
+                f"journal contains unknown opcode {opcode}",
+                location=f"journal '{self.path}'",
+                invariant="journal-opcode",
+            )
+
+    def close(self) -> None:
+        """Close the journal file handle (the device stays readable)."""
+        self._journal_file.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JournaledWormDevice('{self.path}', files={len(self)}, "
+            f"records={self._sequence})"
+        )

@@ -1,0 +1,124 @@
+"""Unit + property tests for the append-only B+ tree baseline."""
+
+import bisect
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bplus_tree import BPlusTree
+from repro.errors import DocumentIdOrderError, IndexError_, WormViolationError
+
+key_sequences = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=300, unique=True
+).map(sorted)
+
+
+class TestHonestOperation:
+    def test_lookup_and_find_geq_small(self):
+        tree = BPlusTree(fanout=3)
+        keys = [2, 4, 7, 11, 13, 19, 23, 29, 31]
+        for k in keys:
+            tree.insert(k)
+        for k in keys:
+            assert tree.lookup(k)
+        assert not tree.lookup(12)
+        assert tree.find_geq(12) == 13
+        assert tree.find_geq(32) is None
+        assert tree.find_geq(0) == 2
+
+    def test_leaf_keys_in_order(self):
+        tree = BPlusTree(fanout=4)
+        for k in range(0, 100, 3):
+            tree.insert(k)
+        assert tree.leaf_keys() == list(range(0, 100, 3))
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(fanout=4)
+        for k in range(64):
+            tree.insert(k)
+        assert 3 <= tree.height <= 5
+        assert len(tree) == 64
+
+    def test_strictly_increasing_enforced(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(5)
+        with pytest.raises(DocumentIdOrderError):
+            tree.insert(5)
+        with pytest.raises(DocumentIdOrderError):
+            tree.insert(4)
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(fanout=1)
+
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert not tree.lookup(1)
+        assert tree.find_geq(0) is None
+        assert tree.leaf_keys() == []
+        assert tree.height == 0
+
+    @given(keys=key_sequences, data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_property_reference_equivalence(self, keys, data):
+        tree = BPlusTree(fanout=4)
+        for k in keys:
+            tree.insert(k)
+        probe = data.draw(st.integers(min_value=0, max_value=10_010))
+        assert tree.lookup(probe) == (probe in set(keys))
+        idx = bisect.bisect_left(keys, probe)
+        expect = keys[idx] if idx < len(keys) else None
+        assert tree.find_geq(probe) == expect
+
+    @given(keys=key_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_property_leaf_chain_complete(self, keys):
+        tree = BPlusTree(fanout=3)
+        for k in keys:
+            tree.insert(k)
+        assert tree.leaf_keys() == keys
+
+
+class TestAccounting:
+    def test_nodes_read_counted(self):
+        tree = BPlusTree(fanout=4)
+        for k in range(100):
+            tree.insert(k)
+        before = tree.nodes_read
+        tree.lookup(50)
+        assert tree.nodes_read - before == tree.height
+
+    def test_visited_set_dedupes(self):
+        tree = BPlusTree(fanout=4)
+        for k in range(100):
+            tree.insert(k)
+        visited = set()
+        tree.lookup(50, visited=visited)
+        first = tree.nodes_read
+        tree.lookup(50, visited=visited)
+        assert tree.nodes_read == first  # same path, all deduped
+
+
+class TestWormSurface:
+    def test_raw_append_to_full_node_rejected(self):
+        tree = BPlusTree(fanout=2)
+        for k in range(8):
+            tree.insert(k)
+        full_internal = tree.root
+        fake = tree.make_leaf([99])
+        with pytest.raises(WormViolationError):
+            tree.raw_append_entry(full_internal, 99, fake)
+
+    def test_raw_append_to_leaf_rejected(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(1)
+        with pytest.raises(IndexError_):
+            tree.raw_append_entry(tree.root, 2, tree.make_leaf([2]))
+
+    def test_make_internal(self):
+        tree = BPlusTree(fanout=4)
+        leaf = tree.make_leaf([5, 6])
+        internal = tree.make_internal([(5, leaf)])
+        assert internal.keys == [5]
+        assert not internal.is_leaf

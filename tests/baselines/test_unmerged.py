@@ -1,0 +1,85 @@
+"""Unit tests for the unmerged + per-term B+ tree "ideal" baseline."""
+
+import pytest
+
+from repro.baselines.unmerged import UnmergedBaselineIndex
+from repro.errors import QueryError
+
+
+@pytest.fixture()
+def index():
+    idx = UnmergedBaselineIndex(fanout=8)
+    docs = {
+        0: [1, 2, 3],
+        1: [1, 2],
+        2: [2, 3],
+        3: [1, 3],
+        4: [1, 2, 3, 4],
+    }
+    for doc_id, terms in docs.items():
+        idx.add_document(doc_id, terms)
+    return idx
+
+
+class TestIngest:
+    def test_posting_lengths(self, index):
+        assert index.posting_length(1) == 4
+        assert index.posting_length(2) == 4
+        assert index.posting_length(4) == 1
+        assert index.posting_length(999) == 0
+
+    def test_duplicate_terms_in_doc_collapsed(self):
+        idx = UnmergedBaselineIndex()
+        idx.add_document(0, [7, 7, 7])
+        assert idx.posting_length(7) == 1
+
+    def test_tree_accessor(self, index):
+        assert len(index.tree(1)) == 4
+        with pytest.raises(QueryError):
+            index.tree(999)
+
+
+class TestConjunctiveQueries:
+    def test_two_terms(self, index):
+        docs, blocks = index.conjunctive_query([1, 2])
+        assert docs == [0, 1, 4]
+        assert blocks > 0
+
+    def test_three_terms(self, index):
+        docs, _ = index.conjunctive_query([1, 2, 3])
+        assert docs == [0, 4]
+
+    def test_absent_term_empty(self, index):
+        docs, blocks = index.conjunctive_query([1, 999])
+        assert docs == []
+        assert blocks == 0
+
+    def test_single_term(self, index):
+        docs, blocks = index.conjunctive_query([3])
+        assert docs == [0, 2, 3, 4]
+        assert blocks >= 1
+
+    def test_duplicate_query_terms_deduped(self, index):
+        docs, _ = index.conjunctive_query([1, 1, 2])
+        assert docs == [0, 1, 4]
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(QueryError):
+            index.conjunctive_query([])
+
+    def test_against_brute_force(self):
+        import random
+
+        random.seed(0)
+        idx = UnmergedBaselineIndex(fanout=16)
+        docsets = {}
+        for doc_id in range(300):
+            terms = random.sample(range(20), random.randint(2, 6))
+            idx.add_document(doc_id, terms)
+            for t in terms:
+                docsets.setdefault(t, set()).add(doc_id)
+        for _ in range(40):
+            terms = random.sample(range(20), random.randint(2, 4))
+            expect = sorted(set.intersection(*[docsets.get(t, set()) for t in terms]))
+            got, _ = idx.conjunctive_query(terms)
+            assert got == expect

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite.
+
+Workload materialization is the expensive part of many tests, so a small
+deterministic corpus/query-log pair is built once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulate.workload_factory import Scale, get_workload
+from repro.worm.storage import CachedWormStore
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """Session-cached tiny workload (2k docs, 4k queries)."""
+    return get_workload(Scale.tiny())
+
+
+@pytest.fixture()
+def store():
+    """A fresh unbounded-cache WORM store with small blocks."""
+    return CachedWormStore(None, block_size=256)
+
+
+@pytest.fixture()
+def small_cache_store():
+    """A fresh WORM store with a 4-block cache (eviction behaviour)."""
+    return CachedWormStore(4, block_size=256)

@@ -1,0 +1,144 @@
+"""Unit tests for epoch-based learning and index management."""
+
+import numpy as np
+import pytest
+
+from repro.core.epochs import (
+    EpochIndexManager,
+    learn_popular_terms,
+    prefix_query_frequencies,
+    prefix_term_frequencies,
+)
+from repro.errors import WorkloadError
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+from repro.workloads.queries import QueryLogConfig, QueryLogGenerator
+from repro.workloads.stats import WorkloadStats
+
+
+class TestLearning:
+    def test_learn_by_qi(self):
+        stats = WorkloadStats(ti=np.array([1, 2, 3]), qi=np.array([9, 1, 5]))
+        assert list(learn_popular_terms(stats, 2, by="qi")) == [0, 2]
+
+    def test_learn_by_ti(self):
+        stats = WorkloadStats(ti=np.array([1, 2, 3]), qi=np.array([9, 1, 5]))
+        assert list(learn_popular_terms(stats, 2, by="ti")) == [2, 1]
+
+    def test_bad_by_rejected(self):
+        stats = WorkloadStats(ti=np.array([1]), qi=np.array([1]))
+        with pytest.raises(WorkloadError):
+            learn_popular_terms(stats, 1, by="xx")
+
+    def test_prefix_term_frequencies(self):
+        corpus = CorpusGenerator(
+            CorpusConfig(num_docs=100, vocabulary_size=500, mean_terms_per_doc=20)
+        )
+        prefix = prefix_term_frequencies(corpus, 0.1)
+        full = corpus.term_document_frequencies()
+        assert prefix.sum() < full.sum()
+        assert (prefix <= full).all()
+
+    def test_prefix_stability(self):
+        """Figures 3(f)/3(g)'s premise: the 10% prefix ranks the same head."""
+        corpus = CorpusGenerator(
+            CorpusConfig(num_docs=500, vocabulary_size=2000, mean_terms_per_doc=60)
+        )
+        prefix = prefix_term_frequencies(corpus, 0.1)
+        full = corpus.term_document_frequencies()
+        top_prefix = set(np.argsort(prefix)[::-1][:20].tolist())
+        top_full = set(np.argsort(full)[::-1][:20].tolist())
+        assert len(top_prefix & top_full) >= 14  # strong head agreement
+
+    def test_prefix_query_frequencies(self):
+        log = QueryLogGenerator(
+            QueryLogConfig(num_queries=200, vocabulary_size=500)
+        )
+        prefix = prefix_query_frequencies(log, 0.25)
+        full = log.term_query_frequencies()
+        assert (prefix <= full).all()
+        assert prefix.sum() > 0
+
+    def test_bad_fraction_rejected(self):
+        corpus = CorpusGenerator(CorpusConfig(num_docs=10, vocabulary_size=10))
+        with pytest.raises(WorkloadError):
+            prefix_term_frequencies(corpus, 0.0)
+
+
+class _RecordingIndex:
+    """Index stub recording documents and the stats it was built from."""
+
+    def __init__(self, epoch_no, stats):
+        self.epoch_no = epoch_no
+        self.built_from = stats
+        self.docs = []
+
+    def add_document(self, doc_id, term_ids):
+        self.docs.append((doc_id, tuple(term_ids)))
+
+
+class TestEpochManager:
+    def _manager(self, docs_per_epoch=3):
+        return EpochIndexManager(
+            _RecordingIndex, vocabulary_size=10, docs_per_epoch=docs_per_epoch
+        )
+
+    def test_auto_roll(self):
+        mgr = self._manager(docs_per_epoch=3)
+        for _ in range(7):
+            mgr.add_document([1, 2])
+        assert len(mgr) == 3
+        assert [e.doc_count for e in mgr.epochs] == [3, 3, 1]
+
+    def test_doc_ids_global_monotone(self):
+        mgr = self._manager(docs_per_epoch=2)
+        ids = [mgr.add_document([0]) for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+        assert mgr.epochs[1].first_doc_id == 2
+
+    def test_stats_handed_to_next_epoch(self):
+        mgr = self._manager(docs_per_epoch=2)
+        mgr.add_document([1, 1, 2])
+        mgr.record_query([2])
+        mgr.add_document([2])
+        mgr.add_document([3])  # rolls into epoch 1
+        built_from = mgr.epochs[1].index.built_from
+        assert built_from is not None
+        assert built_from.ti[1] == 1  # distinct-term counting
+        assert built_from.ti[2] == 2
+        assert built_from.qi[2] == 1
+
+    def test_first_epoch_has_no_stats(self):
+        mgr = self._manager()
+        assert mgr.epochs[0].index.built_from is None
+
+    def test_query_epochs_all(self):
+        mgr = self._manager(docs_per_epoch=2)
+        for _ in range(5):
+            mgr.add_document([0])
+        assert len(mgr.query_epochs()) == 3
+
+    def test_query_epochs_range_filtered(self):
+        """Section 3.3: time-constrained queries touch only overlapping epochs."""
+        mgr = self._manager(docs_per_epoch=2)
+        for _ in range(6):
+            mgr.add_document([0])
+        selected = mgr.query_epochs(doc_id_range=(2, 3))
+        assert [e.epoch_no for e in selected] == [1]
+        selected = mgr.query_epochs(doc_id_range=(1, 4))
+        assert [e.epoch_no for e in selected] == [0, 1, 2]
+
+    def test_manual_epoch_roll(self):
+        mgr = EpochIndexManager(_RecordingIndex, vocabulary_size=10)
+        mgr.add_document([0])
+        mgr.new_epoch()
+        mgr.add_document([1])
+        assert len(mgr) == 2
+        assert mgr.epochs[1].doc_count == 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            EpochIndexManager(_RecordingIndex, vocabulary_size=0)
+        with pytest.raises(WorkloadError):
+            EpochIndexManager(
+                _RecordingIndex, vocabulary_size=5, docs_per_epoch=0
+            )

@@ -1,0 +1,169 @@
+"""Unit tests for the merging strategies and term assignments."""
+
+import numpy as np
+import pytest
+
+from repro.core.merge import (
+    GreedyCostMerge,
+    LearnedPopularMerge,
+    PopularUnmergedMerge,
+    TermAssignment,
+    UniformHashMerge,
+    lists_for_cache,
+)
+from repro.errors import IndexError_, WorkloadError
+from repro.workloads.stats import WorkloadStats
+
+
+class TestTermAssignment:
+    def test_basic_accessors(self):
+        ta = TermAssignment(list_ids=np.array([0, 1, 0, 2]), num_lists=3)
+        assert ta.num_terms == 4
+        assert ta.list_for(2) == 0
+        assert list(ta.terms_in_list(0)) == [0, 2]
+        assert list(ta.terms_per_list()) == [2, 1, 1]
+
+    def test_aggregate(self):
+        ta = TermAssignment(list_ids=np.array([0, 1, 0]), num_lists=2)
+        agg = ta.aggregate(np.array([10.0, 5.0, 7.0]))
+        assert list(agg) == [17.0, 5.0]
+
+    def test_aggregate_shape_mismatch_rejected(self):
+        ta = TermAssignment(list_ids=np.array([0]), num_lists=1)
+        with pytest.raises(IndexError_):
+            ta.aggregate(np.array([1.0, 2.0]))
+
+    def test_out_of_range_list_ids_rejected(self):
+        with pytest.raises(IndexError_):
+            TermAssignment(list_ids=np.array([0, 3]), num_lists=3)
+        with pytest.raises(IndexError_):
+            TermAssignment(list_ids=np.array([-1]), num_lists=3)
+
+    def test_nonpositive_num_lists_rejected(self):
+        with pytest.raises(IndexError_):
+            TermAssignment(list_ids=np.array([], dtype=np.int64), num_lists=0)
+
+
+class TestUniformHashMerge:
+    def test_covers_all_lists_roughly_evenly(self):
+        ta = UniformHashMerge(16).assign(16_000)
+        per_list = ta.terms_per_list()
+        assert per_list.min() > 0
+        assert per_list.max() < 3 * per_list.mean()
+
+    def test_deterministic(self):
+        a = UniformHashMerge(8).assign(100)
+        b = UniformHashMerge(8).assign(100)
+        assert (a.list_ids == b.list_ids).all()
+
+    def test_salt_changes_assignment(self):
+        a = UniformHashMerge(8, salt=0).assign(100)
+        b = UniformHashMerge(8, salt=1).assign(100)
+        assert (a.list_ids != b.list_ids).any()
+
+    def test_stable_under_universe_growth(self):
+        strategy = UniformHashMerge(32)
+        small = strategy.assign(100)
+        large = strategy.assign(1000)
+        assert (large.list_ids[:100] == small.list_ids).all()
+        assert strategy.universe_size() is None
+
+    def test_invalid_num_lists_rejected(self):
+        with pytest.raises(IndexError_):
+            UniformHashMerge(0)
+
+
+class TestPopularUnmergedMerge:
+    def test_popular_terms_get_singleton_lists(self):
+        strategy = PopularUnmergedMerge(10, popular_terms=[42, 7])
+        ta = strategy.assign(100)
+        assert ta.list_for(42) == 0
+        assert ta.list_for(7) == 1
+        assert list(ta.terms_in_list(0)) == [42]
+        assert list(ta.terms_in_list(1)) == [7]
+
+    def test_remainder_hashes_into_other_lists(self):
+        ta = PopularUnmergedMerge(10, popular_terms=[0]).assign(100)
+        others = ta.list_ids[1:]
+        assert (others >= 1).all()
+        assert (others < 10).all()
+
+    def test_stable_under_universe_growth(self):
+        strategy = PopularUnmergedMerge(10, popular_terms=[3])
+        small = strategy.assign(50)
+        large = strategy.assign(500)
+        assert (large.list_ids[:50] == small.list_ids).all()
+
+    def test_popular_out_of_universe_ignored(self):
+        ta = PopularUnmergedMerge(10, popular_terms=[999]).assign(10)
+        assert (ta.list_ids >= 1).all()  # no term got the singleton list
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(IndexError_):
+            PopularUnmergedMerge(10, popular_terms=[1, 1])
+
+    def test_too_many_popular_rejected(self):
+        with pytest.raises(IndexError_):
+            PopularUnmergedMerge(2, popular_terms=[1, 2])
+
+
+class TestLearnedPopularMerge:
+    def test_carries_provenance(self):
+        strategy = LearnedPopularMerge(
+            10, [5, 6], learned_from_fraction=0.1, by="qi"
+        )
+        assert strategy.learned_from_fraction == 0.1
+        assert strategy.by == "qi"
+        assert strategy.num_lists == 10
+        ta = strategy.assign(20)
+        assert ta.list_for(5) == 0
+
+    def test_invalid_provenance_rejected(self):
+        with pytest.raises(WorkloadError):
+            LearnedPopularMerge(10, [1], learned_from_fraction=0.0, by="qi")
+        with pytest.raises(WorkloadError):
+            LearnedPopularMerge(10, [1], learned_from_fraction=0.1, by="zi")
+
+
+class TestGreedyCostMerge:
+    def _skewed_stats(self, n=500, seed=0):
+        rng = np.random.default_rng(seed)
+        ti = (1000 / (np.arange(n) + 1)).astype(np.int64) + 1
+        qi = rng.permutation(ti)
+        return WorkloadStats(ti=ti, qi=qi)
+
+    def test_beats_uniform_on_skewed_workload(self):
+        from repro.core.cost_model import merged_workload_cost
+
+        stats = self._skewed_stats()
+        greedy = GreedyCostMerge(8, stats.ti, stats.qi).assign(500)
+        uniform = UniformHashMerge(8).assign(500)
+        assert merged_workload_cost(greedy, stats) <= merged_workload_cost(
+            uniform, stats
+        )
+
+    def test_fixed_universe(self):
+        stats = self._skewed_stats(100)
+        strategy = GreedyCostMerge(4, stats.ti, stats.qi)
+        assert strategy.universe_size() == 100
+        with pytest.raises(IndexError_):
+            strategy.assign(101)
+
+    def test_mismatched_stats_rejected(self):
+        with pytest.raises(IndexError_):
+            GreedyCostMerge(4, np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_all_lists_used(self):
+        stats = self._skewed_stats(300)
+        ta = GreedyCostMerge(8, stats.ti, stats.qi).assign(300)
+        assert len(np.unique(ta.list_ids)) == 8
+
+
+class TestCacheSizing:
+    def test_paper_configuration(self):
+        """128 MB cache / 8 KB blocks = 16384 lists (Section 3.4/4.5)."""
+        assert lists_for_cache(128 * 2**20, 8192) == 16384
+
+    def test_invalid_rejected(self):
+        with pytest.raises(IndexError_):
+            lists_for_cache(0, 8192)

@@ -1,0 +1,125 @@
+"""Unit tests for posting encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.posting import (
+    MAX_DOC_ID,
+    MAX_TERM_CODE,
+    POSTING_SIZE,
+    Posting,
+    decode_posting,
+    decode_postings,
+    encode_posting,
+    term_code_bits,
+)
+from repro.errors import IndexError_
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        payload = encode_posting(123456, 789)
+        assert len(payload) == POSTING_SIZE
+        assert decode_posting(payload) == Posting(123456, 789)
+
+    def test_extremes(self):
+        payload = encode_posting(MAX_DOC_ID, MAX_TERM_CODE)
+        assert decode_posting(payload) == Posting(MAX_DOC_ID, MAX_TERM_CODE)
+        assert decode_posting(encode_posting(0, 0)) == Posting(0, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError_):
+            encode_posting(MAX_DOC_ID + 1, 0)
+        with pytest.raises(IndexError_):
+            encode_posting(-1, 0)
+        with pytest.raises(IndexError_):
+            encode_posting(0, MAX_TERM_CODE + 1)
+
+    def test_decode_at_offset(self):
+        payload = encode_posting(1, 2) + encode_posting(3, 4)
+        assert decode_posting(payload, POSTING_SIZE) == Posting(3, 4)
+
+    def test_decode_postings_block(self):
+        payload = b"".join(encode_posting(i, i * 2) for i in range(5))
+        postings = decode_postings(payload)
+        assert postings == [Posting(i, i * 2) for i in range(5)]
+
+    def test_decode_postings_misaligned_rejected(self):
+        with pytest.raises(IndexError_):
+            decode_postings(b"\x00" * (POSTING_SIZE + 1))
+
+    @given(
+        doc_id=st.integers(min_value=0, max_value=MAX_DOC_ID),
+        term_code=st.integers(min_value=0, max_value=MAX_TERM_CODE),
+    )
+    def test_property_roundtrip(self, doc_id, term_code):
+        assert decode_posting(encode_posting(doc_id, term_code)) == Posting(
+            doc_id, term_code
+        )
+
+
+class TestOrdering:
+    def test_sorted_primarily_by_doc_id(self):
+        assert Posting(1, 100) < Posting(2, 0)
+        assert Posting(1, 0) < Posting(1, 1)
+
+
+class TestPackedFrequency:
+    def test_roundtrip(self):
+        from repro.core.posting import pack_term_tf, unpack_term_tf
+
+        code = pack_term_tf(123456, 7)
+        assert unpack_term_tf(code) == (123456, 7)
+
+    def test_saturating_tf(self):
+        from repro.core.posting import pack_term_tf, unpack_term_tf
+
+        assert unpack_term_tf(pack_term_tf(1, 9999)) == (1, 255)
+
+    def test_unpacked_raw_code_defaults_tf_one(self):
+        from repro.core.posting import unpack_term_tf
+
+        assert unpack_term_tf(42) == (42, 1)
+
+    def test_bounds(self):
+        from repro.core.posting import (
+            MAX_TERM_ID_WITH_TF,
+            pack_term_tf,
+        )
+
+        assert pack_term_tf(MAX_TERM_ID_WITH_TF, 1) is not None
+        with pytest.raises(IndexError_):
+            pack_term_tf(MAX_TERM_ID_WITH_TF + 1, 1)
+        with pytest.raises(IndexError_):
+            pack_term_tf(0, 0)
+
+    @given(
+        term_id=st.integers(min_value=0, max_value=2**24 - 1),
+        tf=st.integers(min_value=1, max_value=255),
+    )
+    def test_property_roundtrip(self, term_id, tf):
+        from repro.core.posting import (
+            encode_posting,
+            decode_posting,
+            pack_term_tf,
+            unpack_term_tf,
+        )
+
+        code = pack_term_tf(term_id, tf)
+        # The packed code still fits the on-disk posting format.
+        posting = decode_posting(encode_posting(0, code))
+        assert unpack_term_tf(posting.term_code) == (term_id, tf)
+
+
+class TestTermCodeBits:
+    def test_single_term_needs_no_code(self):
+        assert term_code_bits(1) == 0
+
+    @pytest.mark.parametrize("q,bits", [(2, 1), (3, 2), (4, 2), (31, 5), (32, 5), (33, 6)])
+    def test_log2_sizes(self, q, bits):
+        assert term_code_bits(q) == bits
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(IndexError_):
+            term_code_bits(0)

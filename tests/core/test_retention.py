@@ -1,0 +1,98 @@
+"""Unit tests for retention horizons and trustworthy disposition."""
+
+import pytest
+
+from repro.core.retention import RetentionManager
+from repro.errors import TamperDetectedError, WormViolationError
+from repro.search.engine import EngineConfig, TrustworthySearchEngine
+
+
+def make_engine(retention_period=10):
+    return TrustworthySearchEngine(
+        EngineConfig(
+            num_lists=16,
+            branching=None,
+            block_size=512,
+            retention_period=retention_period,
+        )
+    )
+
+
+class TestHorizons:
+    def test_document_cannot_be_deleted_early(self):
+        engine = make_engine(retention_period=10)
+        doc_id = engine.index_document("keep me", commit_time=0)
+        name = engine.documents._file_name(doc_id)
+        with pytest.raises(WormViolationError):
+            engine.store.device.delete_file(name, now=5)
+
+    def test_dispose_expired_removes_and_logs(self):
+        engine = make_engine(retention_period=10)
+        engine.index_document("old record", commit_time=0)
+        engine.index_document("new record", commit_time=8)
+        disposed = engine.dispose_expired(now=12)
+        assert disposed == [0]
+        assert not engine.documents.exists(0)
+        assert engine.documents.exists(1)
+        record = engine.retention.disposition_for(0)
+        assert record.retention_until == 10
+        assert record.disposed_at == 12
+
+    def test_dispose_is_idempotent(self):
+        engine = make_engine(retention_period=5)
+        engine.index_document("old", commit_time=0)
+        assert engine.dispose_expired(now=100) == [0]
+        assert engine.dispose_expired(now=200) == []
+
+    def test_permanent_documents_never_disposed(self):
+        engine = make_engine(retention_period=None)
+        engine.index_document("forever", commit_time=0)
+        assert engine.dispose_expired(now=10**9) == []
+        assert engine.documents.exists(0)
+
+
+class TestQueryBehaviour:
+    def test_disposed_docs_leave_results(self):
+        engine = make_engine(retention_period=10)
+        engine.index_document("imclone old memo", commit_time=0)
+        engine.index_document("imclone current memo", commit_time=8)
+        assert {r.doc_id for r in engine.search("imclone")} == {0, 1}
+        engine.dispose_expired(now=12)
+        assert {r.doc_id for r in engine.search("imclone")} == {1}
+
+    def test_disposed_docs_pass_verification(self):
+        """A disposed doc's dangling posting is not stuffing."""
+        engine = make_engine(retention_period=10)
+        engine.index_document("imclone old memo", commit_time=0)
+        engine.dispose_expired(now=50)
+        report = engine.verify_results([0], ["imclone"])
+        assert report.ok
+
+    def test_fabricated_ids_still_flagged(self):
+        engine = make_engine(retention_period=10)
+        engine.index_document("imclone memo", commit_time=0)
+        engine.dispose_expired(now=50)
+        report = engine.verify_results([0, 999], ["imclone"])
+        assert not report.ok  # 999 has no disposition record
+        assert engine.retention.classify_dangling(0) == "disposed"
+        assert engine.retention.classify_dangling(999) == "fabricated"
+
+
+class TestLogIntegrity:
+    def test_log_survives_reopen(self):
+        engine = make_engine(retention_period=5)
+        engine.index_document("old", commit_time=0)
+        engine.dispose_expired(now=20)
+        reopened = RetentionManager(engine.store, log_name="engine/dispositions")
+        assert reopened.is_disposed(0)
+        assert len(reopened) == 1
+
+    def test_forged_early_disposition_detected(self, store):
+        """A disposition claiming to predate the horizon is tampering."""
+        import struct
+
+        manager = RetentionManager(store, log_name="d")
+        store.append_record("d", struct.pack("<IQQ", 3, 100, 50))
+        with pytest.raises(TamperDetectedError) as excinfo:
+            list(manager.dispositions())
+        assert excinfo.value.invariant == "retention-horizon"

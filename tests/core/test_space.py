@@ -1,0 +1,77 @@
+"""Unit tests for the jump-index space model (Figure 8(a))."""
+
+import pytest
+
+from repro.core import space
+from repro.errors import IndexError_
+
+
+class TestLevels:
+    @pytest.mark.parametrize(
+        "branching,n,expected",
+        [
+            (2, 2**32, 32),
+            (32, 2**32, 7),   # ceil(32/5) = 7
+            (64, 2**32, 6),   # ceil(32/6) = 6
+            (4, 2**16, 8),
+            (2, 2, 1),
+        ],
+    )
+    def test_levels(self, branching, n, expected):
+        assert space.levels(branching, n) == expected
+
+    def test_invalid_rejected(self):
+        with pytest.raises(IndexError_):
+            space.levels(1)
+        with pytest.raises(IndexError_):
+            space.levels(2, 1)
+
+
+class TestPointerCounts:
+    def test_paper_b32(self):
+        """B=32, N=2^32: (32-1)*7 = 217 pointers, 868 bytes."""
+        assert space.jump_pointers_per_block(32) == 217
+        assert space.pointer_bytes_per_block(32) == 868
+
+    def test_b2(self):
+        assert space.jump_pointers_per_block(2) == 32
+        assert space.pointer_bytes_per_block(2) == 128
+
+
+class TestBlockBudget:
+    def test_paper_8k_b32(self):
+        """Paper: 'For B = 32 and L = 8 KB, a jump index adds 11% space
+        overhead'."""
+        p = space.postings_per_block(8192, 32)
+        assert p == (8192 - 868) // 8  # 915
+        overhead = space.space_overhead(8192, 32)
+        assert 0.10 < overhead < 0.13
+
+    def test_paper_8k_b2(self):
+        """Paper Section 4.5: 'the slowdown is 1.5% ... for B = 2'."""
+        overhead = space.space_overhead(8192, 2)
+        assert 0.013 < overhead < 0.017
+        assert space.disjunctive_slowdown(8192, 2) == overhead
+
+    def test_overhead_grows_with_branching_at_fixed_block(self):
+        values = [space.space_overhead(8192, b) for b in (2, 8, 32, 128)]
+        assert values == sorted(values)
+
+    def test_overhead_shrinks_with_block_size(self):
+        values = [space.space_overhead(block, 32) for block in (4096, 8192, 16384, 32768)]
+        assert values == sorted(values, reverse=True)
+
+    def test_infeasible_configuration_rejected(self):
+        with pytest.raises(IndexError_):
+            space.postings_per_block(256, 64)  # pointers alone exceed block
+        with pytest.raises(IndexError_):
+            space.postings_per_block(0, 2)
+
+    def test_budget_inequality_holds(self):
+        for block in (4096, 8192, 16384, 32768):
+            for b in (2, 4, 8, 16, 32, 64, 128):
+                p = space.postings_per_block(block, b)
+                used = 8 * p + space.pointer_bytes_per_block(b)
+                assert used <= block
+                # Maximality: one more posting would not fit.
+                assert used + 8 > block - 7

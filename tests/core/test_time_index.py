@@ -1,0 +1,92 @@
+"""Unit tests for the trustworthy commit-time index (Section 5)."""
+
+import struct
+
+import pytest
+
+from repro.core.time_index import CommitTimeIndex
+from repro.errors import DocumentIdOrderError, TamperDetectedError
+
+
+@pytest.fixture()
+def cti(store):
+    return CommitTimeIndex(store, "times")
+
+
+class TestRecording:
+    def test_basic_range_query(self, cti):
+        commits = [(0, 100), (1, 100), (2, 105), (3, 200), (4, 201)]
+        for doc_id, t in commits:
+            cti.record_commit(doc_id, t)
+        assert cti.docs_in_range(100, 105) == [0, 1, 2]
+        assert cti.docs_in_range(101, 199) == [2]
+        assert cti.docs_in_range(200, 300) == [3, 4]
+        assert cti.docs_in_range(0, 99) == []
+        assert cti.docs_in_range(202, 300) == []
+        assert len(cti) == 5
+
+    def test_inverted_range_empty(self, cti):
+        cti.record_commit(0, 10)
+        assert cti.docs_in_range(20, 10) == []
+
+    def test_first_commit_geq(self, cti):
+        cti.record_commit(0, 50)
+        cti.record_commit(1, 90)
+        assert cti.first_commit_geq(0) == 50
+        assert cti.first_commit_geq(51) == 90
+        assert cti.first_commit_geq(91) is None
+
+    def test_retro_dated_commit_rejected_at_ingest(self, cti):
+        cti.record_commit(0, 100)
+        with pytest.raises(DocumentIdOrderError):
+            cti.record_commit(1, 99)
+
+    def test_non_increasing_doc_id_rejected(self, cti):
+        cti.record_commit(5, 100)
+        with pytest.raises(DocumentIdOrderError):
+            cti.record_commit(5, 101)
+
+    def test_many_commits_spanning_blocks(self, cti):
+        for doc_id in range(200):  # 12-byte records, 256-byte blocks
+            cti.record_commit(doc_id, 1000 + doc_id // 3)
+        docs = cti.docs_in_range(1010, 1019)
+        assert docs == list(range(30, 60))
+        cti.verify()
+
+
+class TestTamperDetection:
+    def _raw_append(self, store, name, commit_time, doc_id):
+        """Mala appends a log record directly through the device."""
+        store.device.open_file(name).append_record(
+            struct.pack("<QI", commit_time, doc_id)
+        )
+
+    def test_retro_dated_raw_append_detected_by_range_query(self, store):
+        cti = CommitTimeIndex(store, "t")
+        for doc_id in range(10):
+            cti.record_commit(doc_id, 100 + doc_id)
+        # Mala back-dates a fabricated record to Nov. 2001.
+        self._raw_append(store, "t", 50, 999)
+        with pytest.raises(TamperDetectedError) as excinfo:
+            cti.docs_in_range(100, 2000)
+        assert excinfo.value.invariant == "commit-time-monotonicity"
+
+    def test_retro_dated_raw_append_detected_by_audit(self, store):
+        cti = CommitTimeIndex(store, "t")
+        cti.record_commit(0, 100)
+        self._raw_append(store, "t", 99, 1)
+        with pytest.raises(TamperDetectedError):
+            cti.verify()
+
+    def test_duplicate_doc_id_raw_append_detected(self, store):
+        cti = CommitTimeIndex(store, "t")
+        cti.record_commit(0, 100)
+        cti.record_commit(1, 101)
+        self._raw_append(store, "t", 102, 1)  # reuses doc id 1
+        with pytest.raises(TamperDetectedError):
+            cti.verify()
+
+    def test_clean_log_passes_audit(self, cti):
+        for doc_id in range(50):
+            cti.record_commit(doc_id, doc_id * 2)
+        cti.verify()

@@ -1,0 +1,67 @@
+"""Property tests for the commit-time index against an interval reference."""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.time_index import CommitTimeIndex
+from repro.worm.storage import CachedWormStore
+
+commit_histories = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),   # time gap to previous
+        st.integers(min_value=1, max_value=1),   # doc id step (always 1)
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def build(history):
+    store = CachedWormStore(None, block_size=256)
+    index = CommitTimeIndex(store, "t")
+    records = []
+    time, doc = 0, -1
+    for gap, step in history:
+        time += gap
+        doc += step
+        index.record_commit(doc, time)
+        records.append((time, doc))
+    return index, records
+
+
+class TestCommitTimeProperties:
+    @given(history=commit_histories, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_property_range_queries_match_reference(self, history, data):
+        index, records = build(history)
+        max_time = records[-1][0]
+        t1 = data.draw(st.integers(min_value=0, max_value=max_time + 3))
+        t2 = data.draw(st.integers(min_value=0, max_value=max_time + 3))
+        expected = [d for t, d in records if t1 <= t <= t2]
+        assert index.docs_in_range(t1, t2) == expected
+
+    @given(history=commit_histories, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_property_first_commit_geq(self, history, data):
+        index, records = build(history)
+        times = sorted({t for t, _ in records})
+        probe = data.draw(st.integers(min_value=0, max_value=times[-1] + 3))
+        idx = bisect.bisect_left(times, probe)
+        expected = times[idx] if idx < len(times) else None
+        assert index.first_commit_geq(probe) == expected
+
+    @given(history=commit_histories)
+    @settings(max_examples=30, deadline=None)
+    def test_property_restore_preserves_answers(self, history):
+        """Reattaching to the WORM log reproduces identical query answers."""
+        index, records = build(history)
+        reopened = CommitTimeIndex(index.store, "t")
+        max_time = records[-1][0]
+        for t1 in range(0, max_time + 2, max(1, max_time // 5)):
+            assert reopened.docs_in_range(t1, max_time + 1) == index.docs_in_range(
+                t1, max_time + 1
+            )
+        assert len(reopened) == len(records)
+        assert reopened.last_commit_time == records[-1][0]

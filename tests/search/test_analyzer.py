@@ -1,0 +1,64 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.search.analyzer import Analyzer, DEFAULT_STOPWORDS
+
+
+@pytest.fixture()
+def analyzer():
+    return Analyzer()
+
+
+class TestTokens:
+    def test_lowercase_and_split(self, analyzer):
+        assert analyzer.tokens("Hello World") == ["hello", "world"]
+
+    def test_punctuation_stripped(self, analyzer):
+        assert analyzer.tokens("re: Q3-budget, v2!") == ["re", "q3", "budget", "v2"]
+
+    def test_stopwords_removed(self, analyzer):
+        assert analyzer.tokens("the cat and the hat") == ["cat", "hat"]
+
+    def test_min_length(self):
+        analyzer = Analyzer(min_length=3)
+        assert analyzer.tokens("go run far") == ["run", "far"]
+
+    def test_numbers_kept(self, analyzer):
+        assert analyzer.tokens("revenue 2004") == ["revenue", "2004"]
+
+    def test_empty_text(self, analyzer):
+        assert analyzer.tokens("") == []
+
+    def test_duplicates_preserved(self, analyzer):
+        assert analyzer.tokens("spam spam spam") == ["spam"] * 3
+
+
+class TestTermCounts:
+    def test_counts(self, analyzer):
+        counts = analyzer.term_counts("audit memo audit")
+        assert counts == {"audit": 2, "memo": 1}
+
+    def test_all_stopwords(self, analyzer):
+        assert analyzer.term_counts("the and of") == {}
+
+
+class TestQueryTerms:
+    def test_distinct_first_occurrence_order(self, analyzer):
+        assert analyzer.query_terms("stewart waksal stewart") == [
+            "stewart",
+            "waksal",
+        ]
+
+
+class TestConfiguration:
+    def test_empty_stopwords(self):
+        analyzer = Analyzer(stopwords=())
+        assert analyzer.tokens("the cat") == ["the", "cat"]
+
+    def test_invalid_min_length_rejected(self):
+        with pytest.raises(ValueError):
+            Analyzer(min_length=0)
+
+    def test_default_stopwords_lowercase(self):
+        assert all(w == w.lower() for w in DEFAULT_STOPWORDS)

@@ -1,0 +1,71 @@
+"""Unit tests for the WORM-resident document store."""
+
+import pytest
+
+from repro.errors import UnknownFileError
+from repro.search.documents import DocumentStore
+
+
+@pytest.fixture()
+def docs(store):
+    return DocumentStore(store)
+
+
+class TestCommit:
+    def test_ids_assigned_monotonically(self, docs):
+        assert docs.commit("a", commit_time=1) == 0
+        assert docs.commit("b", commit_time=2) == 1
+        assert docs.next_doc_id == 2
+        assert len(docs) == 2
+
+    def test_roundtrip(self, docs):
+        doc_id = docs.commit("quarterly revenue memo", commit_time=7)
+        doc = docs.get(doc_id)
+        assert doc.text == "quarterly revenue memo"
+        assert doc.commit_time == 7
+        assert doc.doc_id == doc_id
+
+    def test_large_document_spans_blocks(self, docs):
+        text = "word " * 200  # > 256-byte blocks
+        doc_id = docs.commit(text, commit_time=1)
+        assert docs.get(doc_id).text == text
+
+    def test_empty_document(self, docs):
+        doc_id = docs.commit("", commit_time=1)
+        assert docs.get(doc_id).text == ""
+
+    def test_unicode(self, docs):
+        doc_id = docs.commit("café ≠ cafe", commit_time=1)
+        assert docs.get(doc_id).text == "café ≠ cafe"
+
+
+class TestRead:
+    def test_exists(self, docs):
+        doc_id = docs.commit("x", commit_time=1)
+        assert docs.exists(doc_id)
+        assert not docs.exists(doc_id + 1)
+
+    def test_get_missing_rejected(self, docs):
+        with pytest.raises(UnknownFileError):
+            docs.get(0)
+
+    def test_iteration_in_id_order(self, docs):
+        for i in range(5):
+            docs.commit(f"doc {i}", commit_time=i)
+        texts = [d.text for d in docs.documents()]
+        assert texts == [f"doc {i}" for i in range(5)]
+
+    def test_committed_text_immutable_via_device(self, docs, store):
+        """The device refuses any overwrite of committed document bytes."""
+        from repro.errors import FileExistsOnWormError
+
+        doc_id = docs.commit("original", commit_time=1)
+        name = f"doc/{doc_id:010d}"
+        worm_file = store.open_file(name)
+        block = worm_file.block(0)
+        with pytest.raises(FileExistsOnWormError):
+            # Even recreating the file under the same name is refused.
+            store.create_file(name)
+        # Appending *more* bytes is legal but does not alter the original.
+        before = block.read()
+        assert before == b"original"

@@ -1,0 +1,148 @@
+"""Integration tests for the epoch-adaptive search engine."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.search.engine import EngineConfig
+from repro.search.epoched import EpochedSearchEngine, EpochPolicy
+
+
+def make_engine(docs_per_epoch=3, **policy_kwargs):
+    return EpochedSearchEngine(
+        EngineConfig(num_lists=16, branching=4, block_size=512),
+        policy=EpochPolicy(docs_per_epoch=docs_per_epoch, **policy_kwargs),
+    )
+
+
+class TestEpochRolling:
+    def test_auto_roll(self):
+        engine = make_engine(docs_per_epoch=2)
+        for i in range(5):
+            engine.index_document(f"memo number {i} about audits")
+        assert len(engine.epochs) == 3
+        assert [e.doc_count for e in engine.epochs] == [2, 2, 1]
+
+    def test_global_doc_ids_monotonic(self):
+        engine = make_engine(docs_per_epoch=2)
+        ids = [engine.index_document(f"doc {i}") for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_manual_roll(self):
+        engine = make_engine(docs_per_epoch=100)
+        engine.index_document("first epoch doc")
+        assert engine.new_epoch() == 1
+        engine.index_document("second epoch doc")
+        assert engine.epochs[1].doc_count == 1
+
+
+class TestCrossEpochQueries:
+    def test_fanout_finds_docs_in_all_epochs(self):
+        engine = make_engine(docs_per_epoch=2)
+        for i in range(6):
+            engine.index_document(f"imclone filing number{i}")
+        hits = {r.doc_id for r in engine.search("imclone", top_k=10)}
+        assert hits == set(range(6))
+
+    def test_conjunctive_across_epochs(self):
+        engine = make_engine(docs_per_epoch=2)
+        engine.index_document("stewart waksal imclone memo")      # epoch 0
+        engine.index_document("unrelated budget planning")        # epoch 0
+        engine.index_document("stewart waksal trading summary")   # epoch 1
+        hits = {r.doc_id for r in engine.search("+stewart +waksal")}
+        assert hits == {0, 2}
+
+    def test_time_range_touches_only_overlapping_epochs(self):
+        engine = make_engine(docs_per_epoch=2)
+        for i in range(6):
+            engine.index_document(f"imclone doc{i}", commit_time=100 + i)
+        hits = {r.doc_id for r in engine.search("imclone @102..103")}
+        assert hits == {2, 3}
+        # Epochs outside the window were not consulted.
+        from repro.search.query import parse_query
+
+        consulted = engine._epochs_for(parse_query("imclone @102..103"))
+        assert [e.epoch_no for e in consulted] == [1]
+
+
+class TestAdaptation:
+    def test_jump_index_dropped_when_queries_are_short(self):
+        engine = make_engine(
+            docs_per_epoch=2, conjunctive_share_for_jump=0.5, min_terms_for_jump=4
+        )
+        engine.index_document("alpha beta gamma delta")
+        engine.index_document("alpha beta epsilon")
+        for _ in range(10):
+            engine.search("alpha")  # 1-keyword workload
+        engine.new_epoch()
+        assert engine.epochs[0].uses_jump_index  # base config default
+        assert not engine.epochs[1].uses_jump_index
+
+    def test_jump_index_kept_when_conjunctive_dominates(self):
+        engine = make_engine(
+            docs_per_epoch=2, conjunctive_share_for_jump=0.5, min_terms_for_jump=3
+        )
+        engine.index_document("alpha beta gamma delta")
+        for _ in range(10):
+            engine.search("+alpha +beta +gamma")
+        engine.new_epoch()
+        assert engine.epochs[1].uses_jump_index
+
+    def test_popular_terms_unmerged_next_epoch(self):
+        engine = make_engine(docs_per_epoch=2, unmerged_popular_terms=4)
+        engine.index_document("hotterm coldterm filler words")
+        for _ in range(5):
+            engine.search("hotterm")
+        engine.new_epoch()
+        new_engine = engine.epochs[1].engine
+        from repro.core.merge import PopularUnmergedMerge
+
+        assert isinstance(new_engine._merge, PopularUnmergedMerge)
+        hot_id = new_engine.term_id("hotterm")
+        assert hot_id in new_engine._merge.popular_terms
+
+
+    def test_infeasible_branching_falls_back(self):
+        """A B=32 policy on 512-byte blocks degrades to a feasible B."""
+        engine = EpochedSearchEngine(
+            EngineConfig(num_lists=8, branching=8, block_size=512),
+            policy=EpochPolicy(
+                docs_per_epoch=2,
+                conjunctive_share_for_jump=0.0,
+                min_terms_for_jump=1,
+                branching=32,
+            ),
+        )
+        engine.index_document("alpha beta gamma delta")
+        engine.search("+alpha +beta +gamma")
+        engine.new_epoch()
+        new = engine.epochs[1]
+        assert new.uses_jump_index
+        assert new.engine.config.branching < 32
+        # And ingest into the adapted epoch works.
+        engine.index_document("alpha epsilon")
+        assert {r.doc_id for r in engine.search("alpha")} == {0, 1}
+
+
+    def test_first_epoch_uses_base_defaults(self):
+        engine = make_engine()
+        from repro.core.merge import UniformHashMerge
+
+        assert isinstance(engine.epochs[0].engine._merge, UniformHashMerge)
+
+
+class TestPolicyValidation:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(WorkloadError):
+            EpochPolicy(docs_per_epoch=0)
+        with pytest.raises(WorkloadError):
+            EpochPolicy(conjunctive_share_for_jump=1.5)
+
+
+class TestIsolation:
+    def test_epochs_share_one_worm_device(self):
+        engine = make_engine(docs_per_epoch=1)
+        engine.index_document("one")
+        engine.index_document("two")
+        files = engine.store.device.list_files()
+        assert any(f.startswith("epoch0000/") for f in files)
+        assert any(f.startswith("epoch0001/") for f in files)

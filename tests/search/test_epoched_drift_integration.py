@@ -1,0 +1,111 @@
+"""End-to-end: the epoch-adaptive engine on a drifting workload.
+
+Feeds the :class:`~repro.workloads.drift.DriftingWorkload`'s epochs
+through a real :class:`~repro.search.epoched.EpochedSearchEngine`:
+documents ingested per epoch, queries observed, and the next epoch's
+merge strategy learned from them — then verifies correctness across the
+whole history (queries fan out over every epoch's index).
+"""
+
+import pytest
+
+from repro.core.merge import PopularUnmergedMerge
+from repro.search.engine import EngineConfig
+from repro.search.epoched import EpochedSearchEngine, EpochPolicy
+from repro.workloads.drift import DriftConfig, DriftingWorkload
+from repro.workloads.vocabulary import Vocabulary
+
+DOCS_PER_EPOCH = 30
+VOCAB = 300
+
+
+@pytest.fixture(scope="module")
+def world():
+    drift = DriftingWorkload(
+        DriftConfig(
+            vocabulary_size=VOCAB,
+            num_epochs=3,
+            queries_per_epoch=60,
+            hot_pool_size=40,
+            drift_stride=10,
+            terms_per_query=2,
+            seed=5,
+        )
+    )
+    vocabulary = Vocabulary(VOCAB)
+    engine = EpochedSearchEngine(
+        EngineConfig(num_lists=16, branching=4, block_size=512),
+        policy=EpochPolicy(docs_per_epoch=DOCS_PER_EPOCH, unmerged_popular_terms=6),
+    )
+    # Brute-force mirror: global doc id -> set of term words.
+    mirror = {}
+    doc_counter = 0
+    for epoch in drift.epochs():
+        # Each epoch ingests documents built from its own hot terms, so
+        # the learned popular set actually matters for the next epoch.
+        hot = epoch.qi.argsort()[::-1][:10]
+        for i in range(DOCS_PER_EPOCH):
+            words = sorted(
+                {vocabulary.word(int(hot[j % len(hot)])) for j in range(i, i + 3)}
+            )
+            text = " ".join(words)
+            doc_id = engine.index_document(text)
+            assert doc_id == doc_counter
+            mirror[doc_id] = set(words)
+            doc_counter += 1
+        # Observe this epoch's queries (drives next epoch's adaptation).
+        for query in epoch.queries:
+            words = vocabulary.words(query.term_ids)
+            engine.search(" ".join(w for w in words if w))
+        if epoch.epoch_no < 2:
+            engine.new_epoch()
+    return engine, mirror, vocabulary
+
+
+class TestDriftIntegration:
+    def test_epochs_were_created(self, world):
+        engine, _, _ = world
+        assert len(engine.epochs) >= 3
+
+    def test_later_epochs_learned_popular_terms(self, world):
+        engine, _, _ = world
+        adapted = [
+            e for e in engine.epochs[1:]
+            if isinstance(e.engine._merge, PopularUnmergedMerge)
+        ]
+        assert adapted, "no epoch adapted its merge strategy"
+
+    def test_queries_correct_across_all_epochs(self, world):
+        engine, mirror, vocabulary = world
+        # Disjunctive: every term that exists somewhere must surface all
+        # its documents regardless of which epoch holds them.
+        terms = {w for words in mirror.values() for w in words}
+        for term in sorted(terms)[:15]:
+            expected = {d for d, words in mirror.items() if term in words}
+            got = {r.doc_id for r in engine.search(term, top_k=len(mirror))}
+            assert got == expected, term
+
+    def test_conjunctive_across_epochs(self, world):
+        engine, mirror, _ = world
+        # Pick a word pair that co-occurs somewhere.
+        for words in mirror.values():
+            pair = sorted(words)[:2]
+            if len(pair) == 2:
+                break
+        expected = {
+            d for d, ws in mirror.items() if pair[0] in ws and pair[1] in ws
+        }
+        got = {
+            r.doc_id
+            for r in engine.search(f"+{pair[0]} +{pair[1]}", top_k=len(mirror))
+        }
+        assert got == expected
+
+    def test_audits_clean_per_epoch(self, world):
+        from repro.adversary.detection import full_engine_audit
+
+        engine, _, _ = world
+        for epoch in engine.epochs:
+            if epoch.doc_count:
+                reports = full_engine_audit(epoch.engine)
+                assert all(r.ok for r in reports)

@@ -1,0 +1,228 @@
+"""Unit + property tests for the zigzag join machinery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bplus_tree import BPlusTree
+from repro.core.block_jump_index import BlockJumpIndex
+from repro.errors import QueryError
+from repro.search.join import (
+    MemoryCursor,
+    MergedListCursor,
+    RawMergedCursor,
+    TreeCursor,
+    conjunctive_join,
+    paper_conjunctive_join,
+    sequential_conjunctive,
+    zigzag,
+)
+from repro.worm.storage import CachedWormStore
+
+
+class TestMemoryCursor:
+    def test_basic_stepping(self):
+        cur = MemoryCursor([1, 5, 9])
+        assert cur.doc() == 1
+        assert cur.seek_geq(5) == 5
+        assert cur.seek_geq(6) == 9
+        assert cur.seek_geq(10) is None
+        assert cur.blocks_read() == 0
+        assert cur.estimated_length() == 3
+
+    def test_empty(self):
+        assert MemoryCursor([]).doc() is None
+
+
+class TestZigzag:
+    def test_intersection(self):
+        a = MemoryCursor([1, 3, 5, 7, 9])
+        b = MemoryCursor([2, 3, 7, 8])
+        assert zigzag(a, b) == [3, 7]
+
+    def test_disjoint(self):
+        assert zigzag(MemoryCursor([1, 2]), MemoryCursor([3, 4])) == []
+
+    def test_identical(self):
+        assert zigzag(MemoryCursor([1, 2]), MemoryCursor([1, 2])) == [1, 2]
+
+    @given(
+        a=st.sets(st.integers(min_value=0, max_value=200), max_size=80),
+        b=st.sets(st.integers(min_value=0, max_value=200), max_size=80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_set_intersection(self, a, b):
+        got = zigzag(MemoryCursor(sorted(a)), MemoryCursor(sorted(b)))
+        assert got == sorted(a & b)
+
+
+class TestTreeCursor:
+    def test_stepping(self):
+        tree = BPlusTree(fanout=4)
+        for k in [2, 5, 9, 14]:
+            tree.insert(k)
+        cur = TreeCursor(tree)
+        assert cur.doc() == 2
+        assert cur.seek_geq(6) == 9
+        assert cur.seek_geq(3) == 9  # never moves backwards
+        assert cur.seek_geq(15) is None
+        assert cur.blocks_read() > 0
+
+
+def build_bundle(docs_terms, branching=4):
+    """Small merged index: one physical list, optional jump index."""
+    store = CachedWormStore(None, block_size=256)
+    bji = BlockJumpIndex.create(store, "pl", branching=branching, max_doc_bits=16)
+    for doc_id, terms in docs_terms:
+        for t in sorted(terms):
+            bji.insert(doc_id, term_code=t)
+    return bji
+
+
+class TestMergedListCursor:
+    def test_filtered_join_against_brute_force(self):
+        random.seed(4)
+        docs = []
+        docsets = {}
+        for doc_id in range(400):
+            terms = random.sample(range(6), random.randint(1, 4))
+            docs.append((doc_id, terms))
+            for t in terms:
+                docsets.setdefault(t, set()).add(doc_id)
+        bji = build_bundle(docs)
+        for t1, t2 in [(0, 1), (2, 3), (4, 5), (0, 5)]:
+            cursors = [
+                MergedListCursor(bji.posting_list, term_code=t, jump_index=bji)
+                for t in (t1, t2)
+            ]
+            got, blocks = conjunctive_join(cursors)
+            assert got == sorted(docsets[t1] & docsets[t2])
+            assert blocks > 0
+
+    def test_sequential_fallback_without_jump_index(self):
+        docs = [(i, [i % 3]) for i in range(100)]
+        bji = build_bundle(docs)
+        cur = MergedListCursor(bji.posting_list, term_code=0)
+        assert cur.seek_geq(50) == 51
+        assert cur.doc() == 51
+
+    def test_single_cursor_join_lists_all(self):
+        docs = [(i, [0]) for i in range(10)]
+        bji = build_bundle(docs)
+        cur = MergedListCursor(bji.posting_list, term_code=0, jump_index=bji)
+        got, _ = conjunctive_join([cur])
+        assert got == list(range(10))
+
+    def test_empty_join_rejected(self):
+        with pytest.raises(QueryError):
+            conjunctive_join([])
+
+
+class TestPaperSemantics:
+    def _world(self, seed=9, num_docs=300, num_terms=8):
+        random.seed(seed)
+        docs = []
+        docsets = {}
+        for doc_id in range(num_docs):
+            terms = random.sample(range(num_terms), random.randint(1, 4))
+            docs.append((doc_id, terms))
+            for t in terms:
+                docsets.setdefault(t, set()).add(doc_id)
+        return docs, docsets
+
+    def test_raw_join_matches_brute_force(self):
+        docs, docsets = self._world()
+        bji = build_bundle(docs)
+        for terms in [(0, 1), (1, 2, 3), (4, 5, 6, 7), (0, 2, 4)]:
+            cursors = [
+                RawMergedCursor(bji.posting_list, [t], jump_index=bji)
+                for t in terms
+            ]
+            got, _ = paper_conjunctive_join(cursors)
+            expect = sorted(set.intersection(*[docsets.get(t, set()) for t in terms]))
+            assert got == expect
+
+    def test_shared_list_multi_code_cursor(self):
+        """Terms hashing to the same list share one cursor with both codes."""
+        docs, docsets = self._world(seed=2)
+        bji = build_bundle(docs)
+        cursor = RawMergedCursor(bji.posting_list, [0, 1], jump_index=bji)
+        got, _ = paper_conjunctive_join([cursor])
+        assert got == sorted(docsets[0] & docsets[1])
+
+    def test_doc_has_codes_across_block_boundary(self):
+        """A document's postings may straddle blocks; all must be seen."""
+        store = CachedWormStore(None, block_size=256)
+        bji = BlockJumpIndex.create(store, "pl", branching=2, max_doc_bits=16)
+        p = bji.posting_list.entries_per_block
+        # Fill so that doc 100's two postings straddle a block boundary.
+        for i in range(p - 1):
+            bji.insert(i, term_code=0)
+        bji.insert(100, term_code=1)
+        bji.insert(100, term_code=2)
+        cur = RawMergedCursor(bji.posting_list, [1, 2], jump_index=bji)
+        assert cur.seek_geq(100) == 100
+        assert cur.doc_has_codes(100)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            paper_conjunctive_join([])
+
+    @given(
+        doc_terms=st.lists(
+            st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+            min_size=1,
+            max_size=120,
+        ),
+        query=st.sets(
+            st.integers(min_value=0, max_value=7), min_size=2, max_size=4
+        ),
+        branching=st.sampled_from([2, 4]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_brute_force(self, doc_terms, query, branching):
+        """Both join semantics agree with set intersection, always."""
+        docs = [(doc_id, sorted(terms)) for doc_id, terms in enumerate(doc_terms)]
+        docsets = {}
+        for doc_id, terms in docs:
+            for t in terms:
+                docsets.setdefault(t, set()).add(doc_id)
+        bji = build_bundle(docs, branching=branching)
+        terms = sorted(query)
+        expected = sorted(
+            set.intersection(*[docsets.get(t, set()) for t in terms])
+        )
+        raw = RawMergedCursor(bji.posting_list, terms, jump_index=bji)
+        got_raw, _ = paper_conjunctive_join([raw])
+        filtered = [
+            MergedListCursor(bji.posting_list, term_code=t, jump_index=bji)
+            for t in terms
+        ]
+        got_filtered, _ = conjunctive_join(filtered)
+        assert got_raw == expected
+        assert got_filtered == expected
+
+
+class TestSequentialConjunctive:
+    def test_counts_every_block(self):
+        docs = [(i, [i % 2]) for i in range(300)]
+        bji = build_bundle(docs)
+        got, blocks = sequential_conjunctive(
+            [bji.posting_list, bji.posting_list], [0, 1]
+        )
+        assert got == []  # no doc carries both parities
+        assert blocks == 2 * bji.posting_list.num_blocks
+
+    def test_unfiltered_scan(self):
+        docs = [(i, [0, 1]) for i in range(20)]
+        bji = build_bundle(docs)
+        got, _ = sequential_conjunctive([bji.posting_list], [None])
+        assert got == list(range(20))
+
+    def test_misaligned_args_rejected(self):
+        with pytest.raises(QueryError):
+            sequential_conjunctive([], [0])
+        with pytest.raises(QueryError):
+            sequential_conjunctive([], [])

@@ -1,0 +1,90 @@
+"""Unit tests for query-cost profiling."""
+
+import pytest
+
+from repro.search.engine import EngineConfig, TrustworthySearchEngine
+from repro.search.profiling import profile_query, recommend_configuration
+
+
+@pytest.fixture()
+def engine():
+    engine = TrustworthySearchEngine(
+        EngineConfig(num_lists=8, branching=4, block_size=512)
+    )
+    for i in range(40):
+        terms = ["common"]
+        if i % 2 == 0:
+            terms.append("even")
+        if i % 5 == 0:
+            terms.append("fifth")
+        engine.index_document(" ".join(terms) + f" filler{i}")
+    return engine
+
+
+class TestDisjunctiveProfile:
+    def test_counts_and_matches(self, engine):
+        profile = profile_query(engine, "even fifth")
+        assert profile.mode == "disjunctive"
+        assert profile.matches == 20 + 8 - 4  # union of evens and fifths
+        assert profile.blocks_read >= 1
+        assert profile.entries_scanned > 0
+        assert not profile.used_jump_index
+
+    def test_scans_whole_lists(self, engine):
+        profile = profile_query(engine, "common")
+        total_blocks = sum(profile.per_list_blocks.values())
+        assert profile.blocks_read == total_blocks
+
+    def test_unknown_term_costs_nothing(self, engine):
+        profile = profile_query(engine, "unknownterm")
+        assert profile.matches == 0
+        assert profile.blocks_read == 0
+
+    def test_summary_readable(self, engine):
+        text = profile_query(engine, "common even").summary()
+        assert "disjunctive" in text
+        assert "matches" in text
+
+
+class TestConjunctiveProfile:
+    def test_counts_and_matches(self, engine):
+        profile = profile_query(engine, "+even +fifth")
+        assert profile.mode == "conjunctive"
+        assert profile.matches == 4  # multiples of 10
+        assert profile.used_jump_index
+        assert profile.blocks_read >= 1
+
+    def test_absent_term_short_circuits(self, engine):
+        profile = profile_query(engine, "+common +unknownterm")
+        assert profile.matches == 0
+        assert profile.blocks_read == 0
+
+    def test_agrees_with_engine_answers(self, engine):
+        profile = profile_query(engine, "+common +even")
+        docs, _ = engine.conjunctive_doc_ids(["common", "even"])
+        assert profile.matches == len(docs)
+
+    def test_profiling_does_not_mutate_state(self, engine):
+        before = len(engine.documents)
+        profile_query(engine, "+even +fifth")
+        profile_query(engine, "common")
+        assert len(engine.documents) == before
+        assert engine.search("common")  # engine still healthy
+
+
+class TestRecommendation:
+    def test_short_query_mix(self, engine):
+        profiles = [profile_query(engine, "common even") for _ in range(3)]
+        advice = recommend_configuration(profiles)
+        assert "without a jump index" in advice
+
+    def test_many_keyword_mix(self, engine):
+        profiles = [
+            profile_query(engine, "+common +even +fifth +filler0")
+            for _ in range(3)
+        ]
+        advice = recommend_configuration(profiles)
+        assert "B=32 jump index" in advice
+
+    def test_empty(self):
+        assert "no profiles" in recommend_configuration([])

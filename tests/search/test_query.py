@@ -1,0 +1,62 @@
+"""Unit tests for query parsing."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.search.query import Query, QueryMode, parse_query
+
+
+class TestParsing:
+    def test_plain_is_disjunctive(self):
+        q = parse_query("stewart waksal imclone")
+        assert q.mode is QueryMode.ANY
+        assert q.terms == ("stewart", "waksal", "imclone")
+
+    def test_plus_prefix_is_conjunctive(self):
+        q = parse_query("+stewart +waksal")
+        assert q.mode is QueryMode.ALL
+        assert q.terms == ("stewart", "waksal")
+
+    def test_mixed_prefixes_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("+stewart waksal")
+
+    def test_time_range_suffix(self):
+        q = parse_query("+stewart +waksal @1004572800..1009843200")
+        assert q.time_range == (1004572800, 1009843200)
+        assert q.mode is QueryMode.ALL
+
+    def test_bad_time_range_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("stewart @abc..def")
+        with pytest.raises(QueryError):
+            parse_query("stewart @12345")
+
+    def test_duplicates_collapsed(self):
+        q = parse_query("memo memo memo")
+        assert q.terms == ("memo",)
+
+    def test_stopword_only_query_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("the and of")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_analysis_applied(self):
+        q = parse_query("The QUARTERLY Report!")
+        assert q.terms == ("quarterly", "report")
+
+
+class TestQueryModel:
+    def test_num_terms(self):
+        assert Query(terms=("a", "b")).num_terms == 2
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(QueryError):
+            Query(terms=())
+
+    def test_inverted_time_range_rejected(self):
+        with pytest.raises(QueryError):
+            Query(terms=("a",), time_range=(10, 5))

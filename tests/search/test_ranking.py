@@ -1,0 +1,85 @@
+"""Unit tests for the BM25 and cosine scorers."""
+
+import pytest
+
+from repro.search.ranking import BM25Scorer, CollectionStats, CosineScorer
+
+
+@pytest.fixture()
+def stats():
+    stats = CollectionStats()
+    stats.add_document(0, {1: 3, 2: 1})      # short doc about term 1
+    stats.add_document(1, {1: 1, 3: 5})      # doc about term 3
+    stats.add_document(2, {2: 2, 3: 1, 4: 1})
+    return stats
+
+
+class TestCollectionStats:
+    def test_document_frequencies(self, stats):
+        assert stats.df[1] == 2
+        assert stats.df[4] == 1
+        assert stats.num_docs == 3
+
+    def test_lengths(self, stats):
+        assert stats.doc_length(0) == 4
+        assert stats.doc_length(1) == 6
+        assert stats.avg_doc_length == pytest.approx((4 + 6 + 4) / 3)
+
+    def test_unknown_doc_length_zero(self, stats):
+        assert stats.doc_length(99) == 0
+
+    def test_empty_stats(self):
+        empty = CollectionStats()
+        assert empty.avg_doc_length == 1.0
+        assert empty.num_docs == 0
+
+
+class TestBM25:
+    def test_rarer_terms_score_higher(self, stats):
+        scorer = BM25Scorer(stats)
+        assert scorer.idf(4) > scorer.idf(1)  # df 1 vs df 2
+
+    def test_more_occurrences_score_higher(self, stats):
+        scorer = BM25Scorer(stats)
+        low = scorer.score(0, {1: 1})
+        high = scorer.score(0, {1: 3})
+        assert high > low
+
+    def test_absent_terms_contribute_nothing(self, stats):
+        scorer = BM25Scorer(stats)
+        assert scorer.score(0, {99: 0}) == 0.0
+        assert scorer.score(0, {}) == 0.0
+
+    def test_tf_saturation(self, stats):
+        """BM25's hallmark: tf gains diminish."""
+        scorer = BM25Scorer(stats)
+        gain_early = scorer.score(0, {1: 2}) - scorer.score(0, {1: 1})
+        gain_late = scorer.score(0, {1: 10}) - scorer.score(0, {1: 9})
+        assert gain_early > gain_late
+
+    def test_length_normalization(self, stats):
+        """Same tf scores higher in a shorter document."""
+        scorer = BM25Scorer(stats)
+        assert scorer.score(0, {1: 1}) > scorer.score(1, {1: 1})
+
+    def test_idf_floor(self):
+        stats = CollectionStats()
+        for doc_id in range(5):
+            stats.add_document(doc_id, {7: 1})
+        assert BM25Scorer(stats).idf(7) >= 0.0
+
+
+class TestCosine:
+    def test_log_tf_weighting(self, stats):
+        scorer = CosineScorer(stats)
+        assert scorer.score(0, {1: 3}) > scorer.score(0, {1: 1})
+
+    def test_unseen_term_idf_zero(self, stats):
+        assert CosineScorer(stats).idf(99) == 0.0
+
+    def test_length_normalization(self, stats):
+        scorer = CosineScorer(stats)
+        assert scorer.score(0, {1: 1}) > scorer.score(1, {1: 1})
+
+    def test_empty_query_scores_zero(self, stats):
+        assert CosineScorer(stats).score(0, {}) == 0.0

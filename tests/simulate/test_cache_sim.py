@@ -1,0 +1,82 @@
+"""Integration tests for the Figure 2 cache simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.merge import UniformHashMerge
+from repro.simulate.cache_sim import (
+    analytic_merged_ios_per_doc,
+    figure2_sweep,
+    ios_per_doc_merged,
+    ios_per_doc_unmerged,
+)
+
+
+class _Doc:
+    def __init__(self, term_ids):
+        self.term_ids = np.asarray(term_ids, dtype=np.int64)
+
+
+class TestUnmerged:
+    def test_ios_decrease_with_cache_size(self, tiny_workload):
+        docs = tiny_workload.documents[:500]
+        small = ios_per_doc_unmerged(docs, cache_size_bytes=1 << 20)
+        large = ios_per_doc_unmerged(docs, cache_size_bytes=1 << 26)
+        assert small > large
+
+    def test_curve_levels_off_slowly(self, tiny_workload):
+        """The Zipf-tail effect: doubling a big cache helps little."""
+        docs = tiny_workload.documents[:800]
+        series = figure2_sweep(
+            docs, [1 << 21, 1 << 22, 1 << 23, 1 << 24, 1 << 25]
+        )
+        ios = [v for _, v in series]
+        assert ios == sorted(ios, reverse=True)
+        early_drop = ios[0] - ios[1]
+        late_drop = ios[-2] - ios[-1]
+        assert early_drop > late_drop
+
+    def test_hand_computed_tiny_case(self):
+        """2 docs, disjoint singleton terms, 1-block cache."""
+        docs = [_Doc([0]), _Doc([1]), _Doc([0]), _Doc([1])]
+        # block holds 16 postings at 128-byte blocks; cache = 1 block.
+        ios = ios_per_doc_unmerged(docs, cache_size_bytes=128, block_size=128)
+        # doc1: term0 new (no IO). doc2: evict term0 (write), term1 new...
+        # pattern: every access after the first evicts (1 write) and the
+        # re-fetches read (1 read for each revisit).
+        assert ios == pytest.approx((1 + 2 + 2) / 4)
+
+
+class TestMerged:
+    def test_merging_into_cache_sized_lists_eliminates_reads(self, tiny_workload):
+        docs = tiny_workload.documents[:500]
+        cache_bytes = 1 << 21  # 256 blocks of 8 KB
+        assignment = UniformHashMerge(256).assign(tiny_workload.vocabulary_size)
+        merged = ios_per_doc_merged(docs, assignment, cache_size_bytes=cache_bytes)
+        unmerged = ios_per_doc_unmerged(
+            docs, cache_size_bytes=cache_bytes, block_size=8192
+        )
+        assert merged < unmerged / 5  # the paper's order-of-magnitude win
+
+    def test_merged_converges_to_fill_rate(self, tiny_workload):
+        """Section 3: I/O only when a block fills -> postings/p per doc.
+
+        Blocks are sized small enough that every list rolls many blocks,
+        so the fill-rate arithmetic dominates edge effects.
+        """
+        docs = tiny_workload.documents[:1000]
+        assignment = UniformHashMerge(64).assign(tiny_workload.vocabulary_size)
+        merged = ios_per_doc_merged(
+            docs, assignment, cache_size_bytes=64 * 512, block_size=512
+        )
+        postings_per_doc = np.mean([d.num_distinct_terms for d in docs])
+        expected = postings_per_doc / (512 // 8)
+        assert merged == pytest.approx(expected, rel=0.35)
+
+
+class TestAnalytic:
+    def test_paper_arithmetic(self):
+        """Section 2.3: 500 8-byte postings over 4 KB blocks ~ 1 I/O."""
+        assert analytic_merged_ios_per_doc(500, block_size=4096) == pytest.approx(
+            500 * 8 / 4096
+        )

@@ -1,0 +1,112 @@
+"""Integration tests for the Figure 8(b)/8(c) simulations."""
+
+import pytest
+
+from repro.simulate.jump_sim import (
+    build_merged_index,
+    insert_ios_sweep,
+    query_speedup_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def docs(tiny_workload):
+    return tiny_workload.documents[:800]
+
+
+class TestBuildMergedIndex:
+    def test_bundle_consistent(self, docs):
+        bundle = build_merged_index(
+            docs, num_lists=16, branching=4, block_size=1024, max_doc_bits=16
+        )
+        total_postings = sum(len(pl) for pl in bundle.lists.values())
+        assert total_postings == sum(d.num_distinct_terms for d in docs)
+        assert set(bundle.jumps) == set(bundle.lists)
+
+    def test_plain_bundle_has_no_jumps(self, docs):
+        bundle = build_merged_index(
+            docs, num_lists=16, branching=None, block_size=1024
+        )
+        assert not bundle.jumps
+
+    def test_scan_blocks_dedupes_shared_lists(self, docs):
+        bundle = build_merged_index(
+            docs, num_lists=1, branching=None, block_size=1024
+        )
+        one = bundle.scan_blocks_for_terms([0])
+        two = bundle.scan_blocks_for_terms([0, 1])  # same single list
+        assert one == two
+
+
+class TestInsertIoSweep:
+    def test_fig8b_shape(self, docs):
+        """I/Os per doc fall with cache size; jump indexes cost more than
+        plain appends at small caches and converge as the cache grows."""
+        sweep = insert_ios_sweep(
+            docs,
+            num_lists=32,
+            branchings=[None, 2, 32],
+            cache_block_counts=[32, 64, 128, 512],
+            block_size=1024,
+            max_doc_bits=16,
+        )
+        for branching, series in sweep.items():
+            ios = [v for _, v in series]
+            assert ios == sorted(ios, reverse=True), branching
+        plain_final = sweep[None][-1][1]
+        b2_final = sweep[2][-1][1]
+        b32_final = sweep[32][-1][1]
+        # Converged jump-index cost approaches the plain append cost.
+        assert b2_final < 3 * plain_final
+        # Higher B sets more pointers: at the SMALL cache it costs more.
+        assert sweep[32][0][1] > sweep[2][0][1]
+        assert b32_final >= b2_final * 0.8
+
+    def test_tail_path_ablation(self, docs):
+        """Disabling the Section 4.5 optimization inflates insert I/O."""
+        kwargs = dict(
+            num_lists=32,
+            branchings=[32],
+            cache_block_counts=[48],
+            block_size=1024,
+            max_doc_bits=16,
+        )
+        with_opt = insert_ios_sweep(docs, track_tail_path=True, **kwargs)
+        without = insert_ios_sweep(docs, track_tail_path=False, **kwargs)
+        assert without[32][0][1] > with_opt[32][0][1]
+
+
+class TestQuerySpeedupSweep:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_workload):
+        wl = tiny_workload
+        queries = {n: wl.queries_with_terms(n, limit=8) for n in (2, 4, 7)}
+        return query_speedup_sweep(
+            wl.documents[:800],
+            queries,
+            wl.stats.ti,
+            num_lists=16,
+            branchings=(2, 32),
+            block_size=4096,
+            max_doc_bits=16,
+        )
+
+    def test_speedup_grows_with_terms(self, result):
+        for label in ("B=2", "B=32"):
+            speedups = dict(result.series[label])
+            assert speedups[7] > speedups[2]
+
+    def test_two_keyword_near_or_below_parity(self, result):
+        """Paper: 2-keyword queries are ~10% slower with a jump index."""
+        assert dict(result.series["B=32"])[2] < 1.15
+
+    def test_ideal_unmerged_fastest(self, result):
+        for n in (2, 4, 7):
+            ideal = dict(result.series["unmerged"])[n]
+            for label in ("B=2", "B=32"):
+                assert ideal >= dict(result.series[label])[n]
+
+    def test_blocks_bookkeeping(self, result):
+        assert set(result.blocks) >= {"scan", "B=2", "B=32", "unmerged"}
+        for label, by_terms in result.blocks.items():
+            assert all(v >= 0 for v in by_terms.values())

@@ -1,0 +1,121 @@
+"""Integration tests for the Figure 3(c)-3(i) simulations."""
+
+import numpy as np
+import pytest
+
+from repro.core.epochs import prefix_query_frequencies, prefix_term_frequencies
+from repro.simulate.merge_sim import (
+    cost_ratio_sweep,
+    figure3d_to_3g,
+    figure3h,
+    figure3i,
+    strategy_for,
+)
+from repro.workloads.stats import WorkloadStats
+
+CACHES = [1 << 22, 1 << 23, 1 << 24, 1 << 25, 1 << 26]
+
+
+class TestCostRatioSweep:
+    def test_ratio_decreases_with_cache(self, tiny_workload):
+        series = cost_ratio_sweep(tiny_workload.stats, cache_sizes_bytes=CACHES)
+        ratios = [r for _, r in series]
+        assert all(r >= 1.0 for r in ratios)
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_modest_cache_near_unmerged(self, tiny_workload):
+        """The paper's key Section 3.4 finding, at our scale."""
+        series = cost_ratio_sweep(
+            tiny_workload.stats, cache_sizes_bytes=[1 << 26]
+        )
+        assert series[0][1] < 1.1
+
+    def test_popular_unmerged_helps_at_small_cache(self, tiny_workload):
+        uniform = dict(
+            cost_ratio_sweep(tiny_workload.stats, cache_sizes_bytes=[1 << 22])
+        )
+        popular = dict(
+            cost_ratio_sweep(
+                tiny_workload.stats,
+                cache_sizes_bytes=[1 << 22],
+                unmerged_terms=200,
+                by="qi",
+            )
+        )
+        assert popular[1 << 22] <= uniform[1 << 22]
+
+    def test_panel_has_all_curves(self, tiny_workload):
+        panel = figure3d_to_3g(
+            tiny_workload.stats,
+            cache_sizes_bytes=CACHES,
+            unmerged_counts=(0, 100, 1000),
+            by="ti",
+        )
+        assert set(panel) == {0, 100, 1000}
+        assert all(len(curve) == len(CACHES) for curve in panel.values())
+
+
+class TestLearning:
+    def test_learned_stats_nearly_as_good(self, tiny_workload):
+        """Figures 3(f)/3(g): prefix-learned stats change the ratio little."""
+        wl = tiny_workload
+        learned = WorkloadStats(
+            ti=prefix_term_frequencies(wl.corpus, 0.1),
+            qi=prefix_query_frequencies(wl.query_log, 0.1),
+        )
+        true_series = cost_ratio_sweep(
+            wl.stats, cache_sizes_bytes=CACHES, unmerged_terms=200, by="qi"
+        )
+        learned_series = cost_ratio_sweep(
+            wl.stats,
+            cache_sizes_bytes=CACHES,
+            unmerged_terms=200,
+            by="qi",
+            learned_stats=learned,
+        )
+        for (_, true_ratio), (_, learned_ratio) in zip(true_series, learned_series):
+            assert learned_ratio == pytest.approx(true_ratio, rel=0.30, abs=0.3)
+
+
+class TestStrategyFor:
+    def test_zero_terms_is_uniform(self, tiny_workload):
+        from repro.core.merge import UniformHashMerge
+
+        assert isinstance(
+            strategy_for(10, tiny_workload.stats, unmerged_terms=0, by="qi"),
+            UniformHashMerge,
+        )
+
+    def test_too_many_popular_rejected(self, tiny_workload):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            strategy_for(10, tiny_workload.stats, unmerged_terms=10, by="qi")
+
+
+class TestQueryDistributions:
+    def test_figure3h_shapes(self, tiny_workload):
+        wl = tiny_workload
+        queries = [q.term_ids for q in wl.queries[:800]]
+        dist = figure3h(
+            queries, wl.stats, cache_sizes_bytes=[1 << 22, 1 << 25]
+        )
+        assert set(dist.sorted_costs) == {"unmerged", "4 MB", "32 MB"}
+        # Merging inflates the cheap end most: compare low percentiles.
+        assert dist.percentile("4 MB", 10) >= dist.percentile("unmerged", 10)
+        # Expensive tail barely moves.
+        tail_unmerged = dist.percentile("unmerged", 99)
+        tail_merged = dist.percentile("32 MB", 99)
+        assert tail_merged <= tail_unmerged * 3
+
+    def test_figure3i_cheap_queries_slow_most(self, tiny_workload):
+        wl = tiny_workload
+        queries = [q.term_ids for q in wl.queries[:800]]
+        series = figure3i(
+            queries, wl.stats, cache_size_bytes=1 << 25, percentiles=range(0, 100, 10)
+        )
+        slowdowns = dict(series)
+        assert slowdowns[0] > slowdowns[90]
+        # Longest-running decile: no visible slowdown (paper: ~1.0).
+        assert slowdowns[90] < 1.6
+        assert all(v >= 1.0 for v in slowdowns.values())

@@ -1,0 +1,43 @@
+"""Unit tests for the shared workload factory."""
+
+import numpy as np
+
+from repro.simulate.workload_factory import Scale, get_workload
+
+
+class TestScalePresets:
+    def test_ordering(self):
+        assert Scale.tiny().num_docs < Scale.small().num_docs
+        assert Scale.small().num_docs < Scale.medium().num_docs
+        assert Scale.paper().num_docs == 1_000_000  # the publication's size
+
+
+class TestWorkload:
+    def test_cached_identity(self, tiny_workload):
+        again = get_workload(Scale.tiny())
+        assert again is tiny_workload
+
+    def test_consistent_stats(self, tiny_workload):
+        wl = tiny_workload
+        manual_ti = np.zeros(wl.vocabulary_size, dtype=np.int64)
+        for doc in wl.documents[:100]:
+            manual_ti[doc.term_ids] += 1
+        full_ti = wl.stats.ti
+        assert (manual_ti <= full_ti).all()
+        assert full_ti.sum() == sum(d.num_distinct_terms for d in wl.documents)
+
+    def test_positive_rank_correlation(self, tiny_workload):
+        """The Section 3.3 observation the generators must reproduce."""
+        assert tiny_workload.stats.rank_correlation() > 0.2
+
+    def test_queries_with_exact_terms(self, tiny_workload):
+        for n in (2, 5, 7):
+            queries = tiny_workload.queries_with_terms(n, limit=10)
+            assert len(queries) == 10
+            assert all(q.num_terms == n for q in queries)
+            assert all(len(set(q.term_ids)) == n for q in queries)
+
+    def test_queries_with_terms_deterministic(self, tiny_workload):
+        a = [q.term_ids for q in tiny_workload.queries_with_terms(6, limit=5)]
+        b = [q.term_ids for q in tiny_workload.queries_with_terms(6, limit=5)]
+        assert a == b

@@ -1,0 +1,170 @@
+"""Integration tests for the archive CLI."""
+
+import pytest
+
+from repro.cli import main, open_archive
+from repro.search.engine import EngineConfig
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    return str(tmp_path / "records.worm")
+
+
+def run(*argv):
+    return main(list(argv))
+
+
+class TestInit:
+    def test_init_creates_archive(self, archive, capsys):
+        assert run("init", "--archive", archive, "--num-lists", "32") == 0
+        assert "initialized archive" in capsys.readouterr().out
+
+    def test_double_init_rejected(self, archive, capsys):
+        run("init", "--archive", archive)
+        assert run("init", "--archive", archive) == 2
+        assert "already initialized" in capsys.readouterr().err
+
+    def test_branching_zero_disables_jump_index(self, archive):
+        run("init", "--archive", archive, "--branching", "0")
+        engine, device = open_archive(archive)
+        assert engine.config.branching is None
+        device.close()
+
+    def test_config_persisted(self, archive):
+        run(
+            "init", "--archive", archive,
+            "--num-lists", "64", "--retention", "500",
+        )
+        engine, device = open_archive(archive)
+        assert engine.config.num_lists == 64
+        assert engine.config.retention_period == 500
+        device.close()
+
+
+class TestIndexAndSearch:
+    def test_round_trip(self, archive, capsys):
+        run("init", "--archive", archive, "--num-lists", "32")
+        assert (
+            run(
+                "index", "--archive", archive,
+                "--text", "imclone trading memo for stewart",
+                "--text", "quarterly finance audit",
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert run("search", "--archive", archive, "imclone") == 0
+        out = capsys.readouterr().out
+        assert "doc 0" in out
+        assert "imclone trading memo" in out
+
+    def test_conjunctive_query(self, archive, capsys):
+        run("init", "--archive", archive, "--num-lists", "32")
+        run(
+            "index", "--archive", archive,
+            "--text", "stewart imclone", "--text", "stewart only",
+        )
+        capsys.readouterr()
+        run("search", "--archive", archive, "+stewart +imclone")
+        out = capsys.readouterr().out
+        assert "doc 0" in out and "doc 1" not in out
+
+    def test_index_from_files(self, archive, tmp_path, capsys):
+        run("init", "--archive", archive)
+        doc = tmp_path / "memo.txt"
+        doc.write_text("retention policy memo")
+        assert run("index", "--archive", archive, str(doc)) == 0
+        capsys.readouterr()
+        run("search", "--archive", archive, "retention")
+        assert "doc 0" in capsys.readouterr().out
+
+    def test_index_nothing_errors(self, archive, capsys):
+        run("init", "--archive", archive)
+        assert run("index", "--archive", archive) == 2
+
+    def test_no_results(self, archive, capsys):
+        run("init", "--archive", archive)
+        run("index", "--archive", archive, "--text", "something")
+        capsys.readouterr()
+        run("search", "--archive", archive, "nonexistentterm")
+        assert "no results" in capsys.readouterr().out
+
+    def test_uninitialized_archive_rejected(self, archive, capsys):
+        assert run("search", "--archive", archive, "anything") == 2
+
+
+class TestAuditAndDispose:
+    def test_clean_audit(self, archive, capsys):
+        run("init", "--archive", archive)
+        run("index", "--archive", archive, "--text", "clean memo")
+        capsys.readouterr()
+        assert run("audit", "--archive", archive) == 0
+        assert "0 with violations" in capsys.readouterr().out
+
+    def test_audit_detects_stuffing_via_verify_search(self, archive, capsys):
+        run("init", "--archive", archive, "--num-lists", "8")
+        run("index", "--archive", archive, "--text", "imclone memo")
+        # Stuff the archive out-of-band (Mala with filesystem access to
+        # the WORM box API).
+        engine, device = open_archive(archive)
+        from repro.adversary.attacks import posting_stuffing_attack
+
+        tid = engine.term_id("imclone")
+        posting_stuffing_attack(
+            engine._existing_list(engine._list_id_for(tid)), tid, count=3
+        )
+        device.close()
+        capsys.readouterr()
+        assert run("search", "--archive", archive, "imclone", "--verify") == 0
+        captured = capsys.readouterr()
+        assert "tampering detected" in captured.err.lower()
+        # The quarantine is durable: the next verify run is clean.
+        assert run("search", "--archive", archive, "imclone", "--verify") == 0
+        captured = capsys.readouterr()
+        assert "tampering" not in captured.err.lower()
+
+    def test_stats_subcommand(self, archive, capsys):
+        run("init", "--archive", archive, "--num-lists", "8")
+        run("index", "--archive", archive, "--text", "imclone memo")
+        capsys.readouterr()
+        assert run("stats", "--archive", archive) == 0
+        out = capsys.readouterr().out
+        assert "documents  1" in out
+        assert "jump_index" in out
+        assert "device_bytes" in out
+
+    def test_profile_subcommand(self, archive, capsys, tmp_path):
+        run("init", "--archive", archive, "--num-lists", "8")
+        run(
+            "index", "--archive", archive,
+            "--text", "imclone stewart memo", "--text", "imclone audit",
+        )
+        log = tmp_path / "queries.txt"
+        log.write_text("imclone\n+imclone +stewart\n")
+        capsys.readouterr()
+        assert run(
+            "profile", "--archive", archive, "--query-file", str(log)
+        ) == 0
+        out = capsys.readouterr().out
+        assert "disjunctive" in out
+        assert "conjunctive" in out
+        assert "jump index" in out  # the recommendation line
+
+    def test_profile_nothing_errors(self, archive, capsys):
+        run("init", "--archive", archive)
+        assert run("profile", "--archive", archive) == 2
+
+    def test_dispose_lifecycle(self, archive, capsys):
+        run("init", "--archive", archive, "--retention", "10")
+        run(
+            "index", "--archive", archive,
+            "--text", "old record", "--commit-time", "0",
+        )
+        capsys.readouterr()
+        assert run("dispose", "--archive", archive, "--now", "5") == 0
+        assert "nothing past" in capsys.readouterr().out
+        assert run("dispose", "--archive", archive, "--now", "50") == 0
+        assert "disposed 1" in capsys.readouterr().out
+        run("search", "--archive", archive, "record")
+        assert "no results" in capsys.readouterr().out

@@ -1,0 +1,24 @@
+"""Execute the doctest examples embedded in module docstrings.
+
+The examples in the package and engine docstrings are part of the public
+documentation; this keeps them from drifting out of truth.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.investigate
+import repro.search.engine
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.investigate, repro.search.engine],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

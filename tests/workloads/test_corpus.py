@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+from repro.workloads.vocabulary import Vocabulary
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusGenerator(
+        CorpusConfig(
+            num_docs=300, vocabulary_size=2_000, mean_terms_per_doc=50, seed=5
+        )
+    )
+
+
+class TestGeneration:
+    def test_document_count(self, corpus):
+        assert len(list(corpus)) == 300
+
+    def test_doc_ids_consecutive_from_base(self, corpus):
+        ids = [d.doc_id for d in corpus]
+        assert ids == list(range(300))
+
+    def test_first_doc_id_offset(self):
+        gen = CorpusGenerator(
+            CorpusConfig(num_docs=5, vocabulary_size=100, mean_terms_per_doc=10),
+            first_doc_id=1000,
+        )
+        assert [d.doc_id for d in gen] == list(range(1000, 1005))
+
+    def test_deterministic(self, corpus):
+        first = [tuple(d.term_ids) for d in corpus]
+        second = [tuple(d.term_ids) for d in corpus]
+        assert first == second
+
+    def test_term_ids_sorted_distinct(self, corpus):
+        for doc in corpus:
+            assert (np.diff(doc.term_ids) > 0).all()
+
+    def test_counts_parallel_and_positive(self, corpus):
+        for doc in corpus:
+            assert len(doc.term_counts) == len(doc.term_ids)
+            assert (doc.term_counts >= 1).all()
+            assert doc.length == doc.term_counts.sum()
+
+    def test_term_ids_within_vocabulary(self, corpus):
+        for doc in corpus:
+            assert doc.term_ids.max() < 2_000
+
+    def test_mean_length_near_target(self, corpus):
+        lengths = [d.length for d in corpus]
+        assert 35 <= np.mean(lengths) <= 70  # log-normal around 50
+
+    def test_constant_length_mode(self):
+        gen = CorpusGenerator(
+            CorpusConfig(
+                num_docs=20,
+                vocabulary_size=500,
+                mean_terms_per_doc=30,
+                doc_length_sigma=0.0,
+            )
+        )
+        assert all(d.length == 30 for d in gen)
+
+
+class TestStatistics:
+    def test_term_frequencies_zipfian_head(self, corpus):
+        ti = corpus.term_document_frequencies()
+        ranked = np.sort(ti)[::-1]
+        # Zipf: the head towers over the body.
+        assert ranked[0] > 5 * ranked[100]
+        assert ranked.sum() == sum(d.num_distinct_terms for d in corpus)
+
+    def test_frequencies_match_manual_count(self, corpus):
+        ti = corpus.term_document_frequencies()
+        manual = np.zeros(2_000, dtype=np.int64)
+        for doc in corpus:
+            manual[doc.term_ids] += 1
+        assert (ti == manual).all()
+
+
+class TestRendering:
+    def test_text_repeats_terms_by_count(self):
+        gen = CorpusGenerator(
+            CorpusConfig(num_docs=1, vocabulary_size=100, mean_terms_per_doc=20)
+        )
+        vocab = Vocabulary(100)
+        doc = next(iter(gen))
+        words = doc.text(vocab).split()
+        assert len(words) == doc.length
+        assert set(words) == {vocab.word(int(t)) for t in doc.term_ids}
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_docs": 0},
+            {"vocabulary_size": 0},
+            {"mean_terms_per_doc": 0},
+            {"doc_length_sigma": -0.1},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            CorpusConfig(**kwargs)

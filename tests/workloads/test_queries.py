@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic query-log generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+from repro.workloads.queries import QueryLogConfig, QueryLogGenerator
+
+
+@pytest.fixture(scope="module")
+def log():
+    return QueryLogGenerator(
+        QueryLogConfig(num_queries=2_000, vocabulary_size=2_000, seed=3)
+    )
+
+
+class TestGeneration:
+    def test_query_count_and_ids(self, log):
+        queries = list(log)
+        assert len(queries) == 2_000
+        assert [q.query_id for q in queries] == list(range(2_000))
+
+    def test_deterministic(self, log):
+        first = [q.term_ids for q in log]
+        second = [q.term_ids for q in log]
+        assert first == second
+
+    def test_terms_distinct_within_query(self, log):
+        for query in log:
+            assert len(set(query.term_ids)) == query.num_terms
+
+    def test_terms_within_vocabulary(self, log):
+        for query in log:
+            assert all(0 <= t < 2_000 for t in query.term_ids)
+
+    def test_term_count_mix_short_dominated(self, log):
+        sizes = np.array([q.num_terms for q in log])
+        assert sizes.min() >= 1
+        assert sizes.max() <= 7
+        assert (sizes <= 3).mean() > 0.7
+
+    def test_query_popularity_normalized(self, log):
+        pop = log.query_popularity()
+        assert pop.sum() == pytest.approx(1.0)
+        assert (pop >= 0).all()
+
+
+class TestCorrelation:
+    def test_popular_query_terms_are_document_popular(self):
+        """Section 3.3: high-qi terms generally have high ti."""
+        vocab = 2_000
+        corpus = CorpusGenerator(
+            CorpusConfig(num_docs=400, vocabulary_size=vocab, mean_terms_per_doc=60)
+        )
+        log = QueryLogGenerator(
+            QueryLogConfig(num_queries=3_000, vocabulary_size=vocab, rank_jitter=10.0)
+        )
+        ti = corpus.term_document_frequencies()
+        qi = log.term_query_frequencies()
+        top_q = np.argsort(qi)[::-1][:20]
+        median_ti = np.median(ti[ti > 0])
+        # Most of the top-queried terms are well above the median ti.
+        assert (ti[top_q] > median_ti).mean() > 0.8
+
+    def test_demoted_terms_rarely_queried(self):
+        cfg = QueryLogConfig(
+            num_queries=3_000,
+            vocabulary_size=1_000,
+            demoted_fraction=0.05,
+            rank_jitter=0.0,
+            seed=9,
+        )
+        log = QueryLogGenerator(cfg)
+        rng = np.random.default_rng(cfg.seed + 1)
+        demoted = log._demoted_ranks(rng)
+        assert len(demoted) > 0
+        qi = log.term_query_frequencies()
+        # Demoted document-popular terms are queried far less than their
+        # non-demoted top-rank peers.
+        top = np.setdiff1d(np.arange(20), demoted)
+        if len(top) and len(demoted):
+            assert qi[demoted].mean() < qi[top].mean() / 2
+
+
+class TestSampling:
+    def test_sample_fraction(self, log):
+        sample = log.sample_queries(0.1, seed=1)
+        assert 100 < len(sample) < 320  # ~10% of 2000
+
+    def test_sample_deterministic(self, log):
+        a = [q.query_id for q in log.sample_queries(0.05, seed=2)]
+        b = [q.query_id for q in log.sample_queries(0.05, seed=2)]
+        assert a == b
+
+    def test_bad_fraction_rejected(self, log):
+        with pytest.raises(WorkloadError):
+            log.sample_queries(0.0)
+        with pytest.raises(WorkloadError):
+            log.sample_queries(1.5)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_queries": 0},
+            {"vocabulary_size": 0},
+            {"demoted_fraction": 1.0},
+            {"term_count_weights": ()},
+            {"term_count_weights": (1.0, -0.5)},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            QueryLogConfig(**kwargs)

@@ -1,0 +1,140 @@
+"""Unit tests for workload traces (user-supplied data path)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.corpus import SyntheticDocument
+from repro.workloads.queries import SyntheticQuery
+from repro.workloads.trace import (
+    corpus_from_texts,
+    load_corpus,
+    load_queries,
+    queries_from_strings,
+    save_corpus,
+    save_queries,
+    stats_from_traces,
+)
+
+
+def make_doc(doc_id, pairs):
+    pairs = sorted(pairs)
+    return SyntheticDocument(
+        doc_id=doc_id,
+        term_ids=np.asarray([t for t, _ in pairs], dtype=np.int64),
+        term_counts=np.asarray([c for _, c in pairs], dtype=np.int64),
+    )
+
+
+class TestCorpusRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        docs = [make_doc(0, [(1, 2), (5, 1)]), make_doc(3, [(2, 7)])]
+        path = str(tmp_path / "corpus.jsonl")
+        assert save_corpus(docs, path) == 2
+        loaded = load_corpus(path)
+        assert len(loaded) == 2
+        assert loaded[0].doc_id == 0
+        assert list(loaded[0].term_ids) == [1, 5]
+        assert list(loaded[1].term_counts) == [7]
+
+    def test_non_monotonic_ids_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        save_corpus([make_doc(5, [(1, 1)]), make_doc(5, [(2, 1)])], path)
+        with pytest.raises(WorkloadError):
+            load_corpus(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        save_corpus([make_doc(0, [(1, 1)])], path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(load_corpus(path)) == 1
+
+    def test_synthetic_corpus_round_trips(self, tmp_path, tiny_workload):
+        docs = tiny_workload.documents[:50]
+        path = str(tmp_path / "synthetic.jsonl")
+        save_corpus(docs, path)
+        loaded = load_corpus(path)
+        for original, restored in zip(docs, loaded):
+            assert (original.term_ids == restored.term_ids).all()
+            assert (original.term_counts == restored.term_counts).all()
+
+
+class TestQueryRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        queries = [SyntheticQuery(0, (3, 1)), SyntheticQuery(1, (9,))]
+        path = str(tmp_path / "queries.jsonl")
+        assert save_queries(queries, path) == 2
+        loaded = load_queries(path)
+        assert loaded[0].term_ids == (3, 1)
+        assert loaded[1].query_id == 1
+
+
+class TestFromRawText:
+    TEXTS = [
+        "imclone trading memo for stewart",
+        "stewart waksal trading summary",
+        "quarterly finance audit",
+    ]
+
+    def test_corpus_from_texts(self):
+        docs, vocab = corpus_from_texts(self.TEXTS)
+        assert len(docs) == 3
+        assert vocab["imclone"] == 0  # first term of the first doc
+        # Every doc's term IDs resolve back through the vocabulary.
+        reverse = {v: k for k, v in vocab.items()}
+        words = {reverse[int(t)] for t in docs[1].term_ids}
+        assert words == {"stewart", "waksal", "trading", "summary"}
+
+    def test_term_counts_preserved(self):
+        docs, vocab = corpus_from_texts(["audit audit audit memo"])
+        counts = dict(zip(docs[0].term_ids, docs[0].term_counts))
+        assert counts[vocab["audit"]] == 3
+        assert counts[vocab["memo"]] == 1
+
+    def test_queries_from_strings(self):
+        _, vocab = corpus_from_texts(self.TEXTS)
+        queries = queries_from_strings(
+            ["stewart waksal", "unknownterm", "imclone unknownterm"], vocab
+        )
+        assert len(queries) == 2  # all-unknown query omitted
+        assert queries[0].term_ids == (vocab["stewart"], vocab["waksal"])
+        assert queries[1].term_ids == (vocab["imclone"],)
+
+    def test_unknown_terms_can_raise(self):
+        _, vocab = corpus_from_texts(self.TEXTS)
+        with pytest.raises(WorkloadError):
+            queries_from_strings(
+                ["mystery"], vocab, skip_unknown_terms=False
+            )
+
+
+class TestStats:
+    def test_stats_from_traces(self):
+        docs, vocab = corpus_from_texts(
+            ["imclone memo", "imclone audit", "audit plan"]
+        )
+        queries = queries_from_strings(["imclone", "imclone audit"], vocab)
+        stats = stats_from_traces(docs, queries)
+        assert stats.ti[vocab["imclone"]] == 2
+        assert stats.ti[vocab["audit"]] == 2
+        assert stats.qi[vocab["imclone"]] == 2
+        assert stats.qi[vocab["audit"]] == 1
+
+    def test_explicit_vocabulary_size(self):
+        docs, _ = corpus_from_texts(["one two"])
+        stats = stats_from_traces(docs, [], vocabulary_size=100)
+        assert stats.num_terms == 100
+
+    def test_feeds_the_cost_model(self):
+        """A user trace drives the same machinery as the synthetic one."""
+        from repro.core.cost_model import cost_ratio
+        from repro.core.merge import UniformHashMerge
+
+        docs, vocab = corpus_from_texts(
+            [f"term{i} common filler" for i in range(20)]
+        )
+        queries = queries_from_strings(["common"], vocab)
+        stats = stats_from_traces(docs, queries)
+        assignment = UniformHashMerge(4).assign(stats.num_terms)
+        assert cost_ratio(assignment, stats) >= 1.0

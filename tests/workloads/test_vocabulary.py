@@ -1,0 +1,60 @@
+"""Unit tests for the synthetic vocabulary."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.vocabulary import Vocabulary, _COMMON_WORDS
+
+
+class TestVocabulary:
+    def test_bijection(self):
+        vocab = Vocabulary(500)
+        for term_id in range(500):
+            assert vocab.term_id(vocab.word(term_id)) == term_id
+
+    def test_all_words_unique(self):
+        vocab = Vocabulary(2000)
+        words = list(vocab)
+        assert len(set(words)) == 2000
+
+    def test_deterministic_across_instances(self):
+        a, b = Vocabulary(300), Vocabulary(300)
+        assert list(a) == list(b)
+
+    def test_common_words_occupy_top_ranks(self):
+        vocab = Vocabulary(100)
+        assert vocab.word(0) == _COMMON_WORDS[0]
+        assert "following" in vocab  # the paper's example term
+
+    def test_contains(self):
+        vocab = Vocabulary(10)
+        assert vocab.word(5) in vocab
+        assert "definitely-not-a-word" not in vocab
+
+    def test_words_batch(self):
+        vocab = Vocabulary(10)
+        assert vocab.words([0, 1]) == [vocab.word(0), vocab.word(1)]
+
+    def test_len(self):
+        assert len(Vocabulary(42)) == 42
+
+    def test_out_of_range_rejected(self):
+        vocab = Vocabulary(10)
+        with pytest.raises(WorkloadError):
+            vocab.word(10)
+        with pytest.raises(WorkloadError):
+            vocab.word(-1)
+
+    def test_unknown_word_rejected(self):
+        with pytest.raises(WorkloadError):
+            Vocabulary(10).term_id("zzz-unknown")
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            Vocabulary(0)
+
+    def test_large_vocabulary_unique_beyond_common_words(self):
+        vocab = Vocabulary(60_000)
+        # Sampled spot checks across the ID space.
+        for term_id in (49, 50, 999, 30_000, 59_999):
+            assert vocab.term_id(vocab.word(term_id)) == term_id

@@ -1,0 +1,109 @@
+"""Unit tests for the WORM block: append-only data, write-once slots."""
+
+import pytest
+
+from repro.errors import BlockBoundsError, WormViolationError
+from repro.worm.block import Block
+
+
+class TestDataRegion:
+    def test_new_block_is_empty(self):
+        block = Block(64)
+        assert block.fill == 0
+        assert block.remaining == 64
+        assert not block.is_full()
+
+    def test_append_returns_offsets(self):
+        block = Block(64)
+        assert block.append(b"abcd") == 0
+        assert block.append(b"efgh") == 4
+        assert block.fill == 8
+
+    def test_append_fills_block(self):
+        block = Block(8)
+        block.append(b"12345678")
+        assert block.is_full()
+        assert block.remaining == 0
+
+    def test_append_beyond_capacity_rejected(self):
+        block = Block(8)
+        block.append(b"123456")
+        with pytest.raises(BlockBoundsError):
+            block.append(b"789")
+        # The failed append must not have committed anything.
+        assert block.fill == 6
+
+    def test_read_whole_region(self):
+        block = Block(64)
+        block.append(b"hello")
+        assert block.read() == b"hello"
+
+    def test_read_slice(self):
+        block = Block(64)
+        block.append(b"hello world")
+        assert block.read(6, 5) == b"world"
+
+    def test_read_beyond_committed_rejected(self):
+        block = Block(64)
+        block.append(b"hi")
+        with pytest.raises(BlockBoundsError):
+            block.read(0, 3)
+
+    def test_read_negative_offset_rejected(self):
+        block = Block(64)
+        with pytest.raises(BlockBoundsError):
+            block.read(-1, 0)
+
+    def test_committed_bytes_are_immutable_snapshot(self):
+        block = Block(64)
+        block.append(b"abc")
+        data = block.read()
+        # Mutating the returned bytes object is impossible; appending
+        # more does not change earlier reads.
+        block.append(b"def")
+        assert data == b"abc"
+        assert block.read() == b"abcdef"
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Block(0)
+
+    def test_negative_slot_count_rejected(self):
+        with pytest.raises(ValueError):
+            Block(8, slot_count=-1)
+
+
+class TestSlots:
+    def test_slots_start_unset(self):
+        block = Block(8, slot_count=3)
+        assert block.slot_count == 3
+        assert block.slots() == (None, None, None)
+        assert block.get_slot(1) is None
+
+    def test_set_and_get(self):
+        block = Block(8, slot_count=3)
+        block.set_slot(1, 42)
+        assert block.get_slot(1) == 42
+        assert block.slots_set == 1
+
+    def test_slots_are_write_once(self):
+        block = Block(8, slot_count=3)
+        block.set_slot(0, 1)
+        with pytest.raises(WormViolationError):
+            block.set_slot(0, 2)
+        assert block.get_slot(0) == 1
+
+    def test_out_of_range_slot_rejected(self):
+        block = Block(8, slot_count=2)
+        with pytest.raises(BlockBoundsError):
+            block.set_slot(2, 5)
+        with pytest.raises(BlockBoundsError):
+            block.get_slot(-1)
+
+    def test_zero_value_is_a_valid_assignment(self):
+        # Regression guard: 0 must be distinguishable from unset.
+        block = Block(8, slot_count=1)
+        block.set_slot(0, 0)
+        assert block.get_slot(0) == 0
+        with pytest.raises(WormViolationError):
+            block.set_slot(0, 7)

@@ -1,0 +1,124 @@
+"""Unit tests for the LRU block-cache simulator (the Figure 2 engine)."""
+
+import pytest
+
+from repro.worm.cache import CacheStats, LRUBlockCache, cache_blocks_for_size
+from repro.worm.iostats import IoStats
+
+
+class TestAccessModel:
+    def test_first_access_is_a_miss_with_fetch(self):
+        cache = LRUBlockCache(2)
+        assert cache.access("a") is False
+        assert cache.io.block_reads == 1
+        assert cache.io.block_writes == 0
+
+    def test_first_access_of_new_block_skips_fetch(self):
+        cache = LRUBlockCache(2)
+        cache.access("a", fetch_on_miss=False)
+        assert cache.io.total == 0
+
+    def test_hit_costs_nothing(self):
+        cache = LRUBlockCache(2)
+        cache.access("a")
+        reads = cache.io.block_reads
+        assert cache.access("a") is True
+        assert cache.io.block_reads == reads
+        assert cache.stats.hits == 1
+
+    def test_eviction_writes_lru_and_reads_needed(self):
+        cache = LRUBlockCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("c")  # evicts a
+        assert cache.io.block_writes == 1
+        assert cache.io.block_reads == 3
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_lru_order_updated_on_hit(self):
+        cache = LRUBlockCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # a becomes MRU
+        cache.access("c")  # evicts b, not a
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_no_writeback_mode(self):
+        cache = LRUBlockCache(1, writeback_on_evict=False)
+        cache.access("a")
+        cache.access("b")
+        assert cache.io.block_writes == 0
+        assert cache.stats.evictions == 1
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = LRUBlockCache(None)
+        for i in range(1000):
+            cache.access(i)
+        assert cache.stats.evictions == 0
+        assert len(cache) == 1000
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUBlockCache(0)
+
+
+class TestBlockFull:
+    def test_full_block_flush_costs_one_write(self):
+        cache = LRUBlockCache(2)
+        cache.access("a", fetch_on_miss=False)
+        cache.note_block_full("a")
+        assert cache.io.block_writes == 1
+        assert cache.stats.full_flushes == 1
+        # Slot retained: the successor tail block is resident.
+        assert "a" in cache
+
+    def test_flush_all(self):
+        cache = LRUBlockCache(None)
+        for key in "abc":
+            cache.access(key, fetch_on_miss=False)
+        assert cache.flush_all() == 3
+        assert cache.io.block_writes == 3
+        assert len(cache) == 0
+
+    def test_invalidate_costs_nothing(self):
+        cache = LRUBlockCache(None)
+        cache.access("a", fetch_on_miss=False)
+        cache.invalidate("a")
+        assert "a" not in cache
+        assert cache.io.total == 0
+        cache.invalidate("missing")  # no-op
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = LRUBlockCache(None)
+        cache.access("a")
+        cache.access("a")
+        cache.access("a")
+        assert cache.stats.accesses == 3
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_with_no_accesses(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_shared_io_counter(self):
+        io = IoStats()
+        cache = LRUBlockCache(1, io=io)
+        cache.access("a")
+        assert io.block_reads == 1
+
+
+class TestSizing:
+    def test_cache_blocks_for_size(self):
+        assert cache_blocks_for_size(128 * 2**20, 8192) == 16384
+
+    def test_minimum_one_block(self):
+        assert cache_blocks_for_size(100, 8192) == 1
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            cache_blocks_for_size(0, 8192)
+        with pytest.raises(ValueError):
+            cache_blocks_for_size(1024, 0)

@@ -1,0 +1,73 @@
+"""Stateful property test: the LRU cache simulator vs a reference model.
+
+Random access/flush/invalidate histories; residency, eviction choice and
+every I/O count must match a straightforward OrderedDict model at every
+step — the Figure-2/8(b) results are only as good as this simulator.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.worm.cache import LRUBlockCache
+
+CAPACITY = 4
+KEYS = list(range(8))
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = LRUBlockCache(CAPACITY)
+        self.model: "OrderedDict[int, None]" = OrderedDict()
+        self.reads = 0
+        self.writes = 0
+
+    @rule(key=st.sampled_from(KEYS), fetch=st.booleans())
+    def access(self, key, fetch):
+        hit = self.cache.access(key, fetch_on_miss=fetch)
+        expected_hit = key in self.model
+        assert hit == expected_hit
+        if expected_hit:
+            self.model.move_to_end(key)
+        else:
+            if len(self.model) >= CAPACITY:
+                self.model.popitem(last=False)
+                self.writes += 1
+            if fetch:
+                self.reads += 1
+            self.model[key] = None
+
+    @rule(key=st.sampled_from(KEYS))
+    def note_full(self, key):
+        self.cache.note_block_full(key)
+        self.writes += 1
+        if key in self.model:
+            self.model.move_to_end(key)
+
+    @rule(key=st.sampled_from(KEYS))
+    def invalidate(self, key):
+        self.cache.invalidate(key)
+        self.model.pop(key, None)
+
+    @rule()
+    def flush_all(self):
+        self.writes += len(self.model)
+        assert self.cache.flush_all() == len(self.model)
+        self.model.clear()
+
+    @invariant()
+    def residency_and_counters_agree(self):
+        assert len(self.cache) == len(self.model)
+        for key in KEYS:
+            assert (key in self.cache) == (key in self.model)
+        assert self.cache.io.block_reads == self.reads
+        assert self.cache.io.block_writes == self.writes
+
+
+TestCacheMachine = CacheMachine.TestCase
+TestCacheMachine.settings = settings(
+    max_examples=60, stateful_step_count=50, deadline=None
+)

@@ -1,0 +1,139 @@
+"""Unit tests for the WORM device and its append-only files."""
+
+import pytest
+
+from repro.errors import (
+    FileExistsOnWormError,
+    UnknownFileError,
+    WormViolationError,
+)
+from repro.worm.device import WormDevice, WormFile
+
+
+@pytest.fixture()
+def device():
+    return WormDevice(block_size=16)
+
+
+class TestNamespace:
+    def test_create_and_open(self, device):
+        created = device.create_file("a")
+        assert device.open_file("a") is created
+        assert device.exists("a")
+        assert not device.exists("b")
+
+    def test_duplicate_create_rejected(self, device):
+        device.create_file("a")
+        with pytest.raises(FileExistsOnWormError):
+            device.create_file("a")
+
+    def test_open_missing_rejected(self, device):
+        with pytest.raises(UnknownFileError):
+            device.open_file("nope")
+
+    def test_list_files_sorted(self, device):
+        for name in ["b", "a", "c"]:
+            device.create_file(name)
+        assert device.list_files() == ["a", "b", "c"]
+        assert len(device) == 3
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            WormDevice(block_size=0)
+
+
+class TestRetention:
+    def test_delete_without_retention_always_refused(self, device):
+        device.create_file("forever")
+        with pytest.raises(WormViolationError):
+            device.delete_file("forever", now=10**12)
+        assert device.exists("forever")
+
+    def test_delete_before_expiry_refused(self, device):
+        device.create_file("term", retention_until=100.0)
+        with pytest.raises(WormViolationError):
+            device.delete_file("term", now=99.0)
+
+    def test_delete_after_expiry_allowed(self, device):
+        device.create_file("term", retention_until=100.0)
+        device.delete_file("term", now=100.0)
+        assert not device.exists("term")
+
+    def test_delete_without_clock_refused(self, device):
+        device.create_file("term", retention_until=100.0)
+        with pytest.raises(WormViolationError):
+            device.delete_file("term")
+
+
+class TestAppendRecords:
+    def test_records_fill_then_roll(self, device):
+        f = device.create_file("f")
+        positions = [f.append_record(b"12345678") for _ in range(3)]
+        assert positions == [(0, 0), (0, 8), (1, 0)]
+        assert f.num_blocks == 2
+
+    def test_record_never_spans_blocks(self, device):
+        f = device.create_file("f")
+        f.append_record(b"123456789012")  # 12 of 16 bytes
+        block_no, offset = f.append_record(b"12345678")  # does not fit
+        assert (block_no, offset) == (1, 0)
+        assert f.block(0).fill == 12
+
+    def test_oversized_record_rejected(self, device):
+        f = device.create_file("f")
+        with pytest.raises(WormViolationError):
+            f.append_record(b"x" * 17)
+
+    def test_force_new_block(self, device):
+        f = device.create_file("f")
+        f.append_record(b"ab")
+        block_no, offset = f.append_record(b"cd", force_new_block=True)
+        assert (block_no, offset) == (1, 0)
+
+    def test_read_back(self, device):
+        f = device.create_file("f")
+        f.append_record(b"abcd")
+        f.append_record(b"efgh")
+        assert f.read(0) == b"abcdefgh"
+        assert f.read(0, 4, 4) == b"efgh"
+
+    def test_total_bytes(self, device):
+        f = device.create_file("f")
+        f.append_record(b"abcd")
+        g = device.create_file("g")
+        g.append_record(b"xy")
+        assert f.total_bytes() == 4
+        assert device.total_bytes() == 6
+
+    def test_missing_block_rejected(self, device):
+        f = device.create_file("f")
+        with pytest.raises(UnknownFileError):
+            f.block(0)
+
+    def test_tail_block_no(self, device):
+        f = device.create_file("f")
+        assert f.tail_block_no == -1
+        f.append_record(b"x")
+        assert f.tail_block_no == 0
+
+
+class TestFileSlots:
+    def test_slots_reserved_per_block(self, device):
+        f = device.create_file("f", slot_count=2)
+        f.append_record(b"x")
+        f.set_slot(0, 1, 99)
+        assert f.get_slot(0, 1) == 99
+        assert f.get_slot(0, 0) is None
+
+    def test_slots_write_once_through_file(self, device):
+        f = device.create_file("f", slot_count=1)
+        f.append_record(b"x")
+        f.set_slot(0, 0, 7)
+        with pytest.raises(WormViolationError):
+            f.set_slot(0, 0, 8)
+
+    def test_blocks_iterate_in_order(self, device):
+        f = device.create_file("f")
+        for _ in range(5):
+            f.append_record(b"x" * 16)
+        assert [b.block_no for b in f.blocks()] == [0, 1, 2, 3, 4]

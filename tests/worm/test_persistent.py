@@ -1,0 +1,156 @@
+"""Unit tests for the journaled (file-backed) WORM device."""
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import TamperDetectedError, WormViolationError
+from repro.worm.persistent import JournaledWormDevice
+
+
+@pytest.fixture()
+def journal_path(tmp_path):
+    return str(tmp_path / "device.journal")
+
+
+def reopen(device, path):
+    device.close()
+    return JournaledWormDevice(path)
+
+
+class TestDurability:
+    def test_files_survive_reopen(self, journal_path):
+        device = JournaledWormDevice(journal_path, block_size=64)
+        f = device.create_file("records", slot_count=2)
+        f.append_record(b"first")
+        f.append_record(b"second")
+        f.set_slot(0, 1, 42)
+        device = reopen(device, journal_path)
+        g = device.open_file("records")
+        assert g.read(0) == b"firstsecond"
+        assert g.get_slot(0, 1) == 42
+        assert g.block_size == 64
+        assert g.slot_count == 2
+
+    def test_block_layout_preserved(self, journal_path):
+        device = JournaledWormDevice(journal_path, block_size=16)
+        f = device.create_file("f")
+        for _ in range(5):
+            f.append_record(b"12345678")  # 2 per block
+        f.append_record(b"x", force_new_block=True)
+        layout = [(b.block_no, b.fill) for b in f.blocks()]
+        device = reopen(device, journal_path)
+        g = device.open_file("f")
+        assert [(b.block_no, b.fill) for b in g.blocks()] == layout
+
+    def test_appends_continue_after_reopen(self, journal_path):
+        device = JournaledWormDevice(journal_path, block_size=64)
+        device.create_file("f").append_record(b"one")
+        device = reopen(device, journal_path)
+        device.open_file("f").append_record(b"two")
+        device = reopen(device, journal_path)
+        assert device.open_file("f").read(0) == b"onetwo"
+
+    def test_worm_semantics_survive_reopen(self, journal_path):
+        device = JournaledWormDevice(journal_path)
+        f = device.create_file("f", slot_count=1)
+        f.append_record(b"data")
+        f.set_slot(0, 0, 7)
+        device = reopen(device, journal_path)
+        g = device.open_file("f")
+        with pytest.raises(WormViolationError):
+            g.set_slot(0, 0, 8)
+
+    def test_retention_and_delete_journaled(self, journal_path):
+        device = JournaledWormDevice(journal_path)
+        device.create_file("temp", retention_until=100.0)
+        device.create_file("keep")
+        device.delete_file("temp", now=200.0)
+        device = reopen(device, journal_path)
+        assert not device.exists("temp")
+        assert device.exists("keep")
+
+    def test_empty_journal_is_fresh_device(self, journal_path):
+        device = JournaledWormDevice(journal_path)
+        assert len(device) == 0
+
+    def test_works_under_cached_store(self, journal_path):
+        from repro.worm.storage import CachedWormStore
+
+        device = JournaledWormDevice(journal_path, block_size=256)
+        store = CachedWormStore(8, device=device)
+        store.create_file("pl")
+        for i in range(100):
+            store.append_record("pl", b"x" * 8)
+        device.close()
+        store2 = CachedWormStore(8, device=JournaledWormDevice(journal_path))
+        assert store2.open_file("pl").total_bytes() == 800
+
+
+class TestEngineOnDisk:
+    def test_full_engine_round_trip(self, journal_path):
+        from repro.search.engine import EngineConfig, TrustworthySearchEngine
+        from repro.worm.storage import CachedWormStore
+
+        config = EngineConfig(num_lists=16, branching=4, block_size=512)
+        device = JournaledWormDevice(journal_path, block_size=512)
+        engine = TrustworthySearchEngine(
+            config, store=CachedWormStore(None, device=device)
+        )
+        engine.index_document("imclone memo for stewart")
+        engine.index_document("budget meeting notes")
+        device.close()
+        # A brand-new process: fresh device replayed from the journal.
+        engine2 = TrustworthySearchEngine(
+            config,
+            store=CachedWormStore(None, device=JournaledWormDevice(journal_path)),
+        )
+        assert [r.doc_id for r in engine2.search("imclone")] == [0]
+        assert engine2.documents.get(1).text == "budget meeting notes"
+
+
+class TestTamperingAndCrashes:
+    def _fill(self, journal_path):
+        device = JournaledWormDevice(journal_path, block_size=64)
+        f = device.create_file("f")
+        for i in range(10):
+            f.append_record(f"rec{i}".encode())
+        device.close()
+
+    def test_torn_tail_is_discarded_not_fatal(self, journal_path):
+        self._fill(journal_path)
+        with open(journal_path, "ab") as handle:
+            handle.write(b"\x01\x02\x03")  # a torn partial record
+        device = JournaledWormDevice(journal_path)
+        assert device.open_file("f").total_bytes() == 40  # 10 * 'recN'
+
+    def test_bit_flip_detected(self, journal_path):
+        self._fill(journal_path)
+        data = bytearray(open(journal_path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(journal_path, "wb").write(bytes(data))
+        with pytest.raises(TamperDetectedError) as excinfo:
+            JournaledWormDevice(journal_path)
+        assert excinfo.value.invariant in ("journal-crc", "journal-sequence")
+
+    def test_record_excision_detected(self, journal_path):
+        """Deleting a middle record breaks the sequence numbering."""
+        self._fill(journal_path)
+        data = open(journal_path, "rb").read()
+        # Parse out the first record's extent and remove the second.
+        (length0,) = struct.unpack_from("<H", data, 4)
+        first_end = 6 + length0
+        (length1,) = struct.unpack_from("<H", data, first_end + 4)
+        second_end = first_end + 6 + length1
+        open(journal_path, "wb").write(data[:first_end] + data[second_end:])
+        with pytest.raises(TamperDetectedError) as excinfo:
+            JournaledWormDevice(journal_path)
+        assert excinfo.value.invariant == "journal-sequence"
+
+    def test_fsync_mode(self, journal_path):
+        device = JournaledWormDevice(journal_path, fsync=True)
+        device.create_file("f").append_record(b"durable")
+        device.close()
+        assert JournaledWormDevice(journal_path).open_file("f").read(0) == b"durable"

@@ -1,0 +1,101 @@
+"""Stateful property test: the journaled device vs an in-memory mirror.
+
+Random create/append/set-slot/reopen histories; after every step, the
+device must agree with a plain dict-based model, and a reopen (full
+journal replay) must be state-preserving.
+"""
+
+import os
+import tempfile
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+from hypothesis import strategies as st
+
+from repro.worm.persistent import JournaledWormDevice
+
+
+class PersistentDeviceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self._tmp = tempfile.TemporaryDirectory()
+        self.path = os.path.join(self._tmp.name, "journal.worm")
+        self.device = JournaledWormDevice(self.path, block_size=32)
+        # Model: name -> {"data": bytes, "slots": {(block, slot): value}}
+        self.model = {}
+        self.next_file = 0
+
+    def teardown(self):
+        self.device.close()
+        self._tmp.cleanup()
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    @rule(slot_count=st.integers(min_value=0, max_value=4))
+    def create(self, slot_count):
+        name = f"f{self.next_file}"
+        self.next_file += 1
+        self.device.create_file(name, slot_count=slot_count)
+        self.model[name] = {"data": b"", "slots": {}, "slot_count": slot_count}
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), payload=st.binary(min_size=1, max_size=20))
+    def append(self, data, payload):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        self.device.open_file(name).append_record(payload)
+        self.model[name]["data"] += payload
+
+    @precondition(
+        lambda self: any(
+            m["slot_count"] > 0 and self.device.open_file(n).num_blocks > 0
+            for n, m in self.model.items()
+        )
+    )
+    @rule(data=st.data(), value=st.integers(min_value=0, max_value=1000))
+    def set_slot(self, data, value):
+        eligible = [
+            n
+            for n, m in self.model.items()
+            if m["slot_count"] > 0 and self.device.open_file(n).num_blocks > 0
+        ]
+        name = data.draw(st.sampled_from(sorted(eligible)))
+        worm_file = self.device.open_file(name)
+        block_no = data.draw(
+            st.integers(min_value=0, max_value=worm_file.num_blocks - 1)
+        )
+        slot_no = data.draw(
+            st.integers(min_value=0, max_value=self.model[name]["slot_count"] - 1)
+        )
+        key = (block_no, slot_no)
+        if key in self.model[name]["slots"]:
+            return  # write-once; the model knows it's taken
+        worm_file.set_slot(block_no, slot_no, value)
+        self.model[name]["slots"][key] = value
+
+    @rule()
+    def reopen(self):
+        """Simulated restart: close, replay the journal from disk."""
+        self.device.close()
+        self.device = JournaledWormDevice(self.path, block_size=32)
+        self.check_agreement()
+
+    # ------------------------------------------------------------------
+    # agreement check
+    # ------------------------------------------------------------------
+    def check_agreement(self):
+        assert sorted(self.device.list_files()) == sorted(self.model)
+        for name, expected in self.model.items():
+            worm_file = self.device.open_file(name)
+            stored = b"".join(
+                worm_file.read(b) for b in range(worm_file.num_blocks)
+            )
+            assert stored == expected["data"], name
+            for (block_no, slot_no), value in expected["slots"].items():
+                assert worm_file.get_slot(block_no, slot_no) == value
+
+
+TestPersistentDeviceMachine = PersistentDeviceMachine.TestCase
+TestPersistentDeviceMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
