@@ -20,7 +20,12 @@ import pytest
 
 from repro.simulate.workload_factory import Scale, get_workload
 
-OUT_DIR = pathlib.Path(__file__).parent / "out"
+# Anchored to this file (never the CWD) so running pytest from the repo
+# root, the benchmarks directory, or a CI checkout all write to the same
+# place; REPRO_BENCH_OUT overrides the destination outright.
+OUT_DIR = pathlib.Path(
+    os.environ.get("REPRO_BENCH_OUT", pathlib.Path(__file__).parent / "out")
+).resolve()
 
 
 def bench_scale() -> Scale:
@@ -43,7 +48,7 @@ def workload():
 @pytest.fixture(scope="session")
 def emit():
     """Writer that prints a regenerated figure and persists it to disk."""
-    OUT_DIR.mkdir(exist_ok=True)
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
 
     def _emit(experiment_id: str, text: str) -> None:
         print(f"\n=== {experiment_id} ===\n{text}")

@@ -11,7 +11,6 @@ its actual term mix and compare the posting-weighted expected bits with
 the fixed-width budget.
 """
 
-import numpy as np
 from conftest import once
 
 from repro.core.merge import UniformHashMerge

@@ -14,7 +14,6 @@ decisions a deployment makes:
 Run:  python examples/merging_tradeoffs.py
 """
 
-import numpy as np
 
 from repro.core.cost_model import cost_ratio, unmerged_workload_cost
 from repro.core.epochs import learn_popular_terms, prefix_query_frequencies

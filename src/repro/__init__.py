@@ -55,12 +55,19 @@ from repro.search import (
     parse_query,
 )
 from repro.investigate import Investigation
+from repro.sharding import (
+    BatchIngestor,
+    ParallelQueryExecutor,
+    ShardRouter,
+    ShardedSearchEngine,
+)
 from repro.worm import CachedWormStore, JournaledWormDevice, LRUBlockCache, WormDevice
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Analyzer",
+    "BatchIngestor",
     "BlockJumpIndex",
     "CachedWormStore",
     "CommitTimeIndex",
@@ -72,6 +79,7 @@ __all__ = [
     "JournaledWormDevice",
     "JumpIndex",
     "LRUBlockCache",
+    "ParallelQueryExecutor",
     "Posting",
     "PostingCursor",
     "PostingList",
@@ -79,6 +87,8 @@ __all__ = [
     "QueryMode",
     "ReproError",
     "SearchResult",
+    "ShardRouter",
+    "ShardedSearchEngine",
     "TamperDetectedError",
     "TermAssignment",
     "TrustworthySearchEngine",

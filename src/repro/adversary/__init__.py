@@ -21,7 +21,7 @@ from repro.adversary.attacks import (
     jump_pointer_attack,
     posting_stuffing_attack,
 )
-from repro.adversary.detection import full_engine_audit
+from repro.adversary.detection import full_engine_audit, full_sharded_audit
 
 __all__ = [
     "binary_search_tail_attack",
@@ -29,6 +29,7 @@ __all__ = [
     "bplus_shadow_attack",
     "buffer_wipe_attack",
     "full_engine_audit",
+    "full_sharded_audit",
     "jump_pointer_attack",
     "posting_stuffing_attack",
 ]

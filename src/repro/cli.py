@@ -3,11 +3,11 @@
 Usage (also available as ``python -m repro``)::
 
     repro-search init    --archive records.worm [--num-lists N]
-                         [--branching B] [--retention PERIOD]
+                         [--branching B] [--retention PERIOD] [--shards K]
     repro-search index   --archive records.worm --text "..." [--text "..."]
-    repro-search index   --archive records.worm file1.txt file2.txt
+    repro-search index   --archive records.worm file1.txt ... [--batch-size N]
     repro-search search  --archive records.worm "stewart waksal" [--top-k K]
-                         [--verify]
+                         [--verify] [--workers W]
     repro-search audit   --archive records.worm
     repro-search stats   --archive records.worm
     repro-search profile --archive records.worm "+a +b +c" --query-file log.txt
@@ -18,6 +18,13 @@ device: documents, posting lists, jump pointers, commit-time log,
 incident and disposition logs.  The engine configuration is committed
 into the archive at ``init`` time (it shapes committed state, so it must
 not drift between sessions).
+
+With ``init --shards K`` (K > 1) the archive is partitioned: the main
+journal becomes the coordinator (configuration, global document map,
+global incident log) and each shard lives in a sibling journal
+``records.worm.shard00`` … ``records.worm.shard{K-1}``.  Every other
+subcommand detects the sharded layout from the committed configuration;
+queries fan out across the shards in parallel.
 """
 
 from __future__ import annotations
@@ -29,13 +36,20 @@ from typing import List, Optional
 
 from repro.errors import ReproError, TamperDetectedError
 from repro.search.engine import EngineConfig, TrustworthySearchEngine
+from repro.sharding.engine import ShardedSearchEngine
 from repro.worm.persistent import JournaledWormDevice
 from repro.worm.storage import CachedWormStore
 
 _CONFIG_FILE = "archive/config"
 
 
-def _write_config(store: CachedWormStore, config: EngineConfig) -> None:
+def _shard_path(path: str, shard_id: int) -> str:
+    return f"{path}.shard{shard_id:02d}"
+
+
+def _write_config(
+    store: CachedWormStore, config: EngineConfig, shards: int
+) -> None:
     payload = json.dumps(
         {
             "num_lists": config.num_lists,
@@ -43,72 +57,121 @@ def _write_config(store: CachedWormStore, config: EngineConfig) -> None:
             "branching": config.branching,
             "ranking": config.ranking,
             "retention_period": config.retention_period,
+            "shards": shards,
         },
         separators=(",", ":"),
     ).encode("utf-8")
     store.create_file(_CONFIG_FILE).append_record(payload)
 
 
-def _read_config(store: CachedWormStore) -> EngineConfig:
+def _read_config(store: CachedWormStore):
     worm_file = store.open_file(_CONFIG_FILE)
     payload = b"".join(
         store.peek_block(_CONFIG_FILE, b) for b in range(worm_file.num_blocks)
     )
     data = json.loads(payload.decode("utf-8"))
-    return EngineConfig(
+    config = EngineConfig(
         num_lists=data["num_lists"],
         block_size=data["block_size"],
         branching=data["branching"],
         ranking=data["ranking"],
         retention_period=data["retention_period"],
     )
+    return config, data.get("shards", 1)
 
 
-def open_archive(path: str, *, create: Optional[EngineConfig] = None):
+class _ArchiveHandle:
+    """Closer for a sharded archive: engine pool plus every journal."""
+
+    def __init__(self, devices, engine):
+        self._devices = devices
+        self._engine = engine
+
+    def close(self) -> None:
+        self._engine.close()
+        for device in self._devices:
+            device.close()
+
+
+def open_archive(
+    path: str,
+    *,
+    create: Optional[EngineConfig] = None,
+    shards: int = 1,
+    workers: Optional[int] = None,
+    batch_size: int = 64,
+):
     """Open (or with ``create``, initialize) an archive at ``path``.
 
-    Returns ``(engine, device)``; close the device when done.
+    Returns ``(engine, handle)``; call ``handle.close()`` when done.
+    ``shards`` only applies at ``create`` time — reopening reads the
+    shard count from the committed configuration.
     """
     device = JournaledWormDevice(path)
     store = CachedWormStore(None, device=device)
     if create is not None:
         if device.exists(_CONFIG_FILE):
             raise ReproError(f"archive '{path}' is already initialized")
-        _write_config(store, create)
+        _write_config(store, create, shards)
         config = create
     else:
         if not device.exists(_CONFIG_FILE):
             raise ReproError(
                 f"'{path}' is not an initialized archive (run 'init' first)"
             )
-        config = _read_config(store)
-    engine = TrustworthySearchEngine(config, store=store)
-    return engine, device
+        config, shards = _read_config(store)
+    if shards <= 1:
+        engine = TrustworthySearchEngine(config, store=store)
+        return engine, device
+    devices = [device]
+
+    def shard_store(shard_id: int) -> CachedWormStore:
+        shard_device = JournaledWormDevice(_shard_path(path, shard_id))
+        devices.append(shard_device)
+        return CachedWormStore(None, device=shard_device)
+
+    engine = ShardedSearchEngine(
+        config,
+        num_shards=shards,
+        store_factory=shard_store,
+        coordinator_store=store,
+        max_workers=workers,
+        batch_size=batch_size,
+    )
+    return engine, _ArchiveHandle(devices, engine)
 
 
 # ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
 def _cmd_init(args) -> int:
+    if args.shards < 1:
+        print(f"--shards must be >= 1 (got {args.shards})", file=sys.stderr)
+        return 2
     config = EngineConfig(
         num_lists=args.num_lists,
         block_size=args.block_size,
         branching=args.branching,
         retention_period=args.retention,
     )
-    engine, device = open_archive(args.archive, create=config)
-    device.close()
+    engine, handle = open_archive(
+        args.archive, create=config, shards=args.shards
+    )
+    handle.close()
     jump = f"B={config.branching}" if config.branching else "disabled"
+    layout = (
+        f", {args.shards} shards" if args.shards > 1 else ""
+    )
     print(
         f"initialized archive '{args.archive}': {config.num_lists} merged "
         f"lists, {config.block_size} B blocks, jump index {jump}, "
-        f"retention {config.retention_period or 'forever'}"
+        f"retention {config.retention_period or 'forever'}{layout}"
     )
     return 0
 
 
 def _cmd_index(args) -> int:
-    engine, device = open_archive(args.archive)
+    engine, archive = open_archive(args.archive, batch_size=args.batch_size)
     try:
         texts: List[str] = list(args.text or [])
         for file_name in args.files:
@@ -117,17 +180,27 @@ def _cmd_index(args) -> int:
         if not texts:
             print("nothing to index: pass --text or file paths", file=sys.stderr)
             return 2
-        for text in texts:
-            doc_id = engine.index_document(text, commit_time=args.commit_time)
-            preview = " ".join(text.split())[:60]
-            print(f"committed doc {doc_id}: {preview}")
+        if args.commit_time is not None and len(texts) > 1:
+            print(
+                "--commit-time requires a single document", file=sys.stderr
+            )
+            return 2
+        for start in range(0, len(texts), args.batch_size):
+            batch = texts[start:start + args.batch_size]
+            commit_times = (
+                None if args.commit_time is None else [args.commit_time]
+            )
+            doc_ids = engine.index_batch(batch, commit_times=commit_times)
+            for doc_id, text in zip(doc_ids, batch):
+                preview = " ".join(text.split())[:60]
+                print(f"committed doc {doc_id}: {preview}")
         return 0
     finally:
-        device.close()
+        archive.close()
 
 
 def _cmd_search(args) -> int:
-    engine, device = open_archive(args.archive)
+    engine, archive = open_archive(args.archive, workers=args.workers)
     try:
         try:
             if args.verify:
@@ -154,15 +227,18 @@ def _cmd_search(args) -> int:
             print(f"doc {hit.doc_id}  score {hit.score:6.2f}  t={doc.commit_time}  {preview}")
         return 0
     finally:
-        device.close()
+        archive.close()
 
 
 def _cmd_audit(args) -> int:
-    from repro.adversary.detection import full_engine_audit
+    from repro.adversary.detection import full_engine_audit, full_sharded_audit
 
-    engine, device = open_archive(args.archive)
+    engine, archive = open_archive(args.archive)
     try:
-        reports = full_engine_audit(engine)
+        if isinstance(engine, ShardedSearchEngine):
+            reports = full_sharded_audit(engine)
+        else:
+            reports = full_engine_audit(engine)
         if args.json:
             with open(args.json, "w", encoding="utf-8") as handle:
                 json.dump(
@@ -189,11 +265,11 @@ def _cmd_audit(args) -> int:
                 )
         return 1 if bad else 0
     finally:
-        device.close()
+        archive.close()
 
 
 def _cmd_stats(args) -> int:
-    engine, device = open_archive(args.archive)
+    engine, archive = open_archive(args.archive)
     try:
         stats = engine.archive_stats()
         width = max(len(k) for k in stats)
@@ -201,13 +277,17 @@ def _cmd_stats(args) -> int:
             print(f"{key.rjust(width)}  {value}")
         return 0
     finally:
-        device.close()
+        archive.close()
 
 
 def _cmd_profile(args) -> int:
-    from repro.search.profiling import profile_query, recommend_configuration
+    from repro.search.profiling import (
+        profile_query,
+        profile_sharded_query,
+        recommend_configuration,
+    )
 
-    engine, device = open_archive(args.archive)
+    engine, archive = open_archive(args.archive)
     try:
         queries: List[str] = list(args.query or [])
         if args.query_file:
@@ -218,20 +298,24 @@ def _cmd_profile(args) -> int:
         if not queries:
             print("nothing to profile: pass queries or --query-file", file=sys.stderr)
             return 2
+        sharded = isinstance(engine, ShardedSearchEngine)
         profiles = []
         for raw in queries:
-            profile = profile_query(engine, raw)
+            if sharded:
+                profile = profile_sharded_query(engine, raw)
+            else:
+                profile = profile_query(engine, raw)
             profiles.append(profile)
             print(profile.summary())
         print()
         print(recommend_configuration(profiles))
         return 0
     finally:
-        device.close()
+        archive.close()
 
 
 def _cmd_dispose(args) -> int:
-    engine, device = open_archive(args.archive)
+    engine, archive = open_archive(args.archive)
     try:
         disposed = engine.dispose_expired(now=args.now)
         if disposed:
@@ -240,7 +324,7 @@ def _cmd_dispose(args) -> int:
             print("nothing past its retention horizon")
         return 0
     finally:
-        device.close()
+        archive.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,6 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--retention", type=int, default=None,
         help="retention period in commit-time units (default: forever)",
     )
+    init.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the archive across K parallel shards (default: 1)",
+    )
     init.set_defaults(func=_cmd_init)
 
     index = sub.add_parser("index", help="commit and index documents")
@@ -273,6 +361,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--commit-time", type=int, default=None,
         help="explicit commit timestamp (default: engine clock)",
     )
+    index.add_argument(
+        "--batch-size", type=int, default=64,
+        help="documents committed per batched index pass (default: 64)",
+    )
     index.set_defaults(func=_cmd_index)
 
     search = sub.add_parser("search", help="query the archive")
@@ -282,6 +374,11 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--verify", action="store_true",
         help="verify results against WORM documents; quarantine stuffing",
+    )
+    search.add_argument(
+        "--workers", type=int, default=None,
+        help="query fan-out threads on a sharded archive (default: one "
+        "per shard)",
     )
     search.set_defaults(func=_cmd_search)
 

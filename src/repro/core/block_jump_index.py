@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.posting import Posting
 from repro.core.posting_list import PostingCursor, PostingList
@@ -202,6 +202,22 @@ class BlockJumpIndex:
         else:
             self._walk_counted(doc_id, last_block)
         return block_no, index
+
+    def insert_many(
+        self, entries: Iterable[Tuple[int, int]]
+    ) -> Tuple[int, int]:
+        """Insert ``(doc_id, term_code)`` postings in one batched pass.
+
+        Entries must arrive in non-decreasing doc-id order (the posting
+        list enforces it).  Pointer placement and I/O accounting are
+        identical entry-for-entry to standalone :meth:`insert` calls —
+        batching amortizes per-call bookkeeping only.  Returns the
+        position of the last inserted posting.
+        """
+        position = (-1, -1)
+        for doc_id, term_code in entries:
+            position = self.insert(doc_id, term_code)
+        return position
 
     def _walk_in_memory(self, k: int, last_block: int) -> None:
         """Insert walk using writer-memory path metadata (Section 4.5)."""

@@ -21,7 +21,7 @@ cache (insert-path experiments) and in a per-list / per-cursor counter
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import DocumentIdOrderError, IndexError_, TamperDetectedError
 from repro.core.posting import (
@@ -162,6 +162,22 @@ class PostingList:
         self.count += 1
         self.last_doc_id = doc_id
         return block_no, index
+
+    def append_many(
+        self, entries: Iterable[Tuple[int, int]]
+    ) -> Tuple[int, int]:
+        """Append ``(doc_id, term_code)`` postings in one batched pass.
+
+        Entries must arrive in non-decreasing doc-id order (enforced, as
+        in :meth:`append`).  Every entry runs the exact same per-record
+        cache lifecycle as a standalone append, so I/O accounting is
+        identical entry-for-entry; batching only amortizes per-call
+        bookkeeping.  Returns the position of the last appended posting.
+        """
+        position = (-1, -1)
+        for doc_id, term_code in entries:
+            position = self.append(doc_id, term_code)
+        return position
 
     # ------------------------------------------------------------------
     # read path

@@ -14,7 +14,6 @@ the Figure 8(a) benchmark and for sizing real posting lists in
 
 from __future__ import annotations
 
-import math
 
 from repro.errors import IndexError_
 

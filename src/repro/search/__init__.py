@@ -21,7 +21,13 @@ from repro.search.analyzer import Analyzer
 from repro.search.documents import Document, DocumentStore
 from repro.search.engine import EngineConfig, SearchResult, TrustworthySearchEngine
 from repro.search.epoched import EpochedSearchEngine, EpochPolicy
-from repro.search.profiling import QueryProfile, profile_query, recommend_configuration
+from repro.search.profiling import (
+    QueryProfile,
+    ShardedQueryProfile,
+    profile_query,
+    profile_sharded_query,
+    recommend_configuration,
+)
 from repro.search.join import (
     MemoryCursor,
     MergedListCursor,
@@ -49,11 +55,13 @@ __all__ = [
     "QueryMode",
     "QueryProfile",
     "SearchResult",
+    "ShardedQueryProfile",
     "TreeCursor",
     "TrustworthySearchEngine",
     "conjunctive_join",
     "parse_query",
     "profile_query",
+    "profile_sharded_query",
     "recommend_configuration",
     "sequential_conjunctive",
     "zigzag",

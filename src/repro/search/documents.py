@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
-from repro.errors import UnknownFileError
 from repro.worm.storage import CachedWormStore
 
 

@@ -1,0 +1,228 @@
+"""Parallel query fan-out over shards with globally consistent ranking.
+
+A query against a sharded archive runs in three stages:
+
+1. **fan-out** — every shard matches the query independently (its own
+   merged lists, jump indexes, commit-time index, and disposition log),
+   on a thread pool, producing per-shard candidate sets;
+2. **global re-rank** — candidates are scored with the engine's
+   configured scorer (BM25 or cosine) under *aggregated* collection
+   statistics (global document count, global document frequencies,
+   global average length), so a document's score does not depend on
+   which shard it landed on;
+3. **k-way merge** — per-shard ranked runs, already sorted by
+   ``(-score, global_id)``, are merged with a heap
+   (:func:`heapq.merge`) and cut at ``top_k``.
+
+Because the aggregated statistics equal what a single unsharded engine
+would compute over the same corpus, a K-shard archive returns the same
+result set — and the same scores — as a 1-shard archive (property-tested
+in ``tests/sharding``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from itertools import islice
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.search.analyzer import Analyzer
+from repro.search.engine import EngineConfig, SearchResult
+from repro.search.query import Query, parse_query
+from repro.search.ranking import BM25Scorer, CollectionStats, CosineScorer
+from repro.sharding.router import ShardRouter
+
+
+@dataclass(frozen=True)
+class AggregatedTermStats:
+    """Collection-level statistics aggregated across every shard.
+
+    Term keys are *positions in the query's term tuple* — a shard-neutral
+    vocabulary, since each shard grows its own term-ID space.
+    """
+
+    df: Dict[int, int]
+    num_docs: int
+    avg_doc_length: float
+
+
+class _ShardScopedStats:
+    """A :class:`CollectionStats`-compatible view for scoring one shard.
+
+    Global quantities (document count, document frequencies, average
+    length) come from the cross-shard aggregate; per-document lengths are
+    answered by the owning shard's own statistics, keyed by local ID.
+    """
+
+    __slots__ = ("df", "_num_docs", "_avg_doc_length", "_local")
+
+    def __init__(self, aggregate: AggregatedTermStats, local: CollectionStats):
+        self.df = aggregate.df
+        self._num_docs = aggregate.num_docs
+        self._avg_doc_length = aggregate.avg_doc_length
+        self._local = local
+
+    @property
+    def num_docs(self) -> int:
+        return self._num_docs
+
+    @property
+    def avg_doc_length(self) -> float:
+        return self._avg_doc_length
+
+    def doc_length(self, doc_id: int) -> int:
+        return self._local.doc_length(doc_id)
+
+
+def _merge_key(result: SearchResult) -> Tuple[float, int]:
+    return (-result.score, result.doc_id)
+
+
+class ParallelQueryExecutor:
+    """Fans queries out to every shard and merges the ranked runs.
+
+    Parameters
+    ----------
+    shards:
+        The per-shard :class:`TrustworthySearchEngine` instances.
+    router:
+        Translates shard-local document IDs back to global IDs.
+    config:
+        Engine configuration (selects the ranking scorer).
+    max_workers:
+        Thread-pool width; defaults to one thread per shard.  The pool
+        is created lazily on the first multi-shard query, so ingest-only
+        sessions never spawn threads.
+    analyzer:
+        Query analyzer; defaults to a fresh :class:`Analyzer` matching
+        the shard engines' defaults.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence,
+        router: ShardRouter,
+        config: EngineConfig,
+        *,
+        max_workers: Optional[int] = None,
+        analyzer: Optional[Analyzer] = None,
+    ):
+        self.shards = list(shards)
+        self.router = router
+        self.config = config
+        self.analyzer = analyzer or Analyzer()
+        self._max_workers = max_workers or max(1, len(self.shards))
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> ThreadPoolExecutor:
+        """The (lazily created) fan-out thread pool."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="shard-query",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the fan-out pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+    def search(self, query, *, top_k: int = 10) -> List[SearchResult]:
+        """Run ``query`` across all shards; returns global ranked results."""
+        if isinstance(query, str):
+            query = parse_query(query, analyzer=self.analyzer)
+        aggregate = self.aggregate_term_stats(query.terms)
+        if len(self.shards) == 1:
+            runs = [self._shard_run(0, query, aggregate)]
+        else:
+            futures = [
+                self.pool.submit(self._shard_run, i, query, aggregate)
+                for i in range(len(self.shards))
+            ]
+            runs = [future.result() for future in futures]
+        merged = heapq.merge(*runs, key=_merge_key)
+        return list(islice(merged, top_k))
+
+    def aggregate_term_stats(
+        self, terms: Sequence[str]
+    ) -> AggregatedTermStats:
+        """Cross-shard collection statistics for one query's terms.
+
+        Sums per-shard document frequencies, document counts, and total
+        lengths — exactly the statistics a single unsharded engine would
+        hold for the same corpus.
+        """
+        df: Dict[int, int] = {}
+        for position, term in enumerate(terms):
+            total = 0
+            for shard in self.shards:
+                term_id = shard.term_id(term)
+                if term_id is not None:
+                    total += shard.stats.df.get(term_id, 0)
+            df[position] = total
+        num_docs = sum(shard.stats.num_docs for shard in self.shards)
+        total_length = sum(shard.stats.total_length for shard in self.shards)
+        if num_docs:
+            avg_doc_length = max(1.0, total_length / num_docs)
+        else:
+            avg_doc_length = 1.0
+        return AggregatedTermStats(
+            df=df, num_docs=num_docs, avg_doc_length=avg_doc_length
+        )
+
+    def _scorer(self, stats):
+        if self.config.ranking == "bm25":
+            return BM25Scorer(stats)
+        return CosineScorer(stats)
+
+    def _shard_run(
+        self,
+        shard_index: int,
+        query: Query,
+        aggregate: AggregatedTermStats,
+    ) -> List[SearchResult]:
+        """Match + globally score one shard; returns a sorted run."""
+        shard = self.shards[shard_index]
+        candidates: Mapping[int, Mapping[int, int]] = shard.match(query)
+        if not candidates:
+            return []
+        position_of: Dict[int, int] = {}
+        for position, term in enumerate(query.terms):
+            term_id = shard.term_id(term)
+            if term_id is not None:
+                position_of[term_id] = position
+        scorer = self._scorer(_ShardScopedStats(aggregate, shard.stats))
+        to_global = self.router.to_global
+        run: List[SearchResult] = []
+        for local_id, freqs in candidates.items():
+            term_freqs = {
+                position_of[term_id]: tf
+                for term_id, tf in freqs.items()
+                if term_id in position_of
+            }
+            run.append(
+                SearchResult(
+                    doc_id=to_global(shard_index, local_id),
+                    score=scorer.score(local_id, term_freqs),
+                )
+            )
+        run.sort(key=_merge_key)
+        return run
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "idle" if self._pool is None else "pooled"
+        return (
+            f"ParallelQueryExecutor(shards={len(self.shards)}, "
+            f"workers={self._max_workers}, {state})"
+        )

@@ -32,7 +32,6 @@ from repro.core.posting_list import PostingList
 from repro.search.join import (
     MergedListCursor,
     RawMergedCursor,
-    conjunctive_join,
     paper_conjunctive_join,
 )
 from repro.worm.storage import CachedWormStore

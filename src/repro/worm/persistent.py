@@ -26,7 +26,6 @@ an operation counts once it is fully on stable storage.
 
 from __future__ import annotations
 
-import io
 import os
 import struct
 import zlib

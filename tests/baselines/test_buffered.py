@@ -3,7 +3,6 @@
 import pytest
 
 from repro.baselines.buffered import BufferedInvertedIndex
-from repro.worm.storage import CachedWormStore
 
 
 @pytest.fixture()

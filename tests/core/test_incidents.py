@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.incidents import IncidentLog
 from repro.errors import TamperDetectedError
-from repro.worm.storage import CachedWormStore
 
 
 @pytest.fixture()

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.core.posting import POSTING_SIZE
 from repro.core.posting_list import PostingList
 from repro.errors import DocumentIdOrderError, IndexError_, TamperDetectedError
-from repro.worm.storage import CachedWormStore
 
 
 @pytest.fixture()

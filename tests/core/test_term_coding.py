@@ -1,6 +1,5 @@
 """Unit + property tests for the Huffman term-coding model."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -1,6 +1,5 @@
 """Unit tests for the offline auditors (Section 5 countermeasures)."""
 
-import pytest
 
 from repro.core.block_jump_index import BlockJumpIndex
 from repro.core.posting import encode_posting

@@ -7,7 +7,6 @@ query form against brute-force answers computed from the raw term
 vectors.
 """
 
-import numpy as np
 import pytest
 
 from repro.search.engine import EngineConfig, TrustworthySearchEngine

@@ -1,0 +1,155 @@
+"""The shard router: stable placement and the WORM document map."""
+
+import pytest
+
+from repro.errors import TamperDetectedError, WorkloadError
+from repro.sharding.router import MAP_FILE, ShardRouter, stable_shard
+from repro.worm.storage import CachedWormStore
+
+
+@pytest.fixture()
+def store():
+    return CachedWormStore(None, block_size=4096)
+
+
+class TestStableShard:
+    def test_deterministic(self):
+        for global_id in range(200):
+            assert stable_shard(global_id, 4) == stable_shard(global_id, 4)
+
+    def test_in_range(self):
+        for num_shards in (1, 2, 3, 7, 16):
+            for global_id in range(100):
+                assert 0 <= stable_shard(global_id, num_shards) < num_shards
+
+    def test_not_round_robin(self):
+        # An avalanche mix must not stripe consecutive IDs cyclically.
+        placements = [stable_shard(g, 4) for g in range(64)]
+        assert placements != [g % 4 for g in range(64)]
+
+    def test_roughly_balanced(self):
+        counts = [0] * 4
+        for global_id in range(4000):
+            counts[stable_shard(global_id, 4)] += 1
+        for count in counts:
+            assert 700 <= count <= 1300  # ~1000 +- 30%
+
+
+class TestAssignment:
+    def test_global_ids_dense(self, store):
+        router = ShardRouter(store, 3)
+        assignments = router.assign_many(50)
+        assert [a.global_id for a in assignments] == list(range(50))
+
+    def test_local_ids_monotonic_per_shard(self, store):
+        router = ShardRouter(store, 3)
+        assignments = router.assign_many(100)
+        next_local = [0, 0, 0]
+        for a in assignments:
+            assert a.local_id == next_local[a.shard_id]
+            next_local[a.shard_id] += 1
+
+    def test_round_trip_lookup(self, store):
+        router = ShardRouter(store, 4)
+        for a in router.assign_many(60):
+            assert router.to_local(a.global_id) == (a.shard_id, a.local_id)
+            assert router.to_global(a.shard_id, a.local_id) == a.global_id
+
+    def test_unknown_global_id_rejected(self, store):
+        router = ShardRouter(store, 2)
+        router.assign_many(3)
+        assert not router.has(3)
+        with pytest.raises(WorkloadError):
+            router.to_local(3)
+
+    def test_unmapped_local_gets_negative_synthetic_id(self, store):
+        router = ShardRouter(store, 3)
+        router.assign_many(10)
+        synthetic = router.to_global(1, router.shard_size(1) + 5)
+        assert synthetic < 0
+        assert not router.has(synthetic)
+
+    def test_synthetic_ids_unique(self, store):
+        router = ShardRouter(store, 3)
+        seen = set()
+        for shard_id in range(3):
+            for local_id in range(router.shard_size(shard_id), 20):
+                seen.add(router.to_global(shard_id, local_id))
+        assert len(seen) == sum(20 - router.shard_size(s) for s in range(3))
+
+    def test_invalid_shard_count(self, store):
+        with pytest.raises(WorkloadError):
+            ShardRouter(store, 0)
+
+
+class TestPersistence:
+    def test_restore_from_worm_map(self, store):
+        router = ShardRouter(store, 3)
+        originals = router.assign_many(40)
+        reopened = ShardRouter(store, 3)
+        assert len(reopened) == 40
+        for a in originals:
+            assert reopened.to_local(a.global_id) == (a.shard_id, a.local_id)
+
+    def test_verify_clean_map(self, store):
+        router = ShardRouter(store, 3)
+        router.assign_many(25)
+        assert router.verify() == 25
+
+    def test_restore_continues_assignment(self, store):
+        ShardRouter(store, 2).assign_many(10)
+        reopened = ShardRouter(store, 2)
+        assert reopened.assign().global_id == 10
+
+
+class TestTamperDetection:
+    def test_wrong_shard_detected(self, store):
+        router = ShardRouter(store, 3)
+        router.assign_many(5)
+        # Mala appends a map record routing the next document to a shard
+        # other than the one its global ID hashes to.
+        global_id = 5
+        wrong = (stable_shard(global_id, 3) + 1) % 3
+        store.open_file(MAP_FILE).append_record(
+            f"{global_id} {wrong} 0\n".encode("ascii")
+        )
+        with pytest.raises(TamperDetectedError) as exc:
+            ShardRouter(store, 3)
+        assert exc.value.invariant == "doc-map-placement"
+
+    def test_sparse_global_id_detected(self, store):
+        router = ShardRouter(store, 2)
+        router.assign_many(4)
+        store.open_file(MAP_FILE).append_record(
+            f"9 {stable_shard(9, 2)} 0\n".encode("ascii")
+        )
+        with pytest.raises(TamperDetectedError) as exc:
+            ShardRouter(store, 2)
+        assert exc.value.invariant == "doc-map-density"
+
+    def test_local_id_gap_detected(self, store):
+        router = ShardRouter(store, 2)
+        router.assign_many(4)
+        shard = stable_shard(4, 2)
+        bogus_local = router.shard_size(shard) + 3
+        store.open_file(MAP_FILE).append_record(
+            f"4 {shard} {bogus_local}\n".encode("ascii")
+        )
+        with pytest.raises(TamperDetectedError) as exc:
+            ShardRouter(store, 2)
+        assert exc.value.invariant == "doc-map-local-monotonicity"
+
+    def test_garbage_record_detected(self, store):
+        router = ShardRouter(store, 2)
+        router.assign_many(2)
+        store.open_file(MAP_FILE).append_record(b"not a map record\n")
+        with pytest.raises(TamperDetectedError) as exc:
+            ShardRouter(store, 2)
+        assert exc.value.invariant == "doc-map-format"
+
+    def test_verify_flags_appended_tampering(self, store):
+        router = ShardRouter(store, 2)
+        router.assign_many(6)
+        store.open_file(MAP_FILE).append_record(b"99 0 99\n")
+        with pytest.raises(TamperDetectedError):
+            router.verify()

@@ -1,0 +1,285 @@
+"""The sharded engine: equivalence, batching, and trust properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.attacks import posting_stuffing_attack
+from repro.adversary.detection import full_sharded_audit
+from repro.errors import TamperDetectedError, WorkloadError
+from repro.search.engine import EngineConfig, TrustworthySearchEngine
+from repro.search.profiling import profile_sharded_query
+from repro.sharding import ShardedSearchEngine
+from repro.worm.storage import CachedWormStore
+
+CONFIG = EngineConfig(num_lists=64, block_size=4096, branching=None)
+
+VOCAB = [f"term{i}" for i in range(12)]
+
+documents = st.lists(
+    st.lists(st.sampled_from(VOCAB), min_size=1, max_size=8).map(" ".join),
+    min_size=1,
+    max_size=30,
+)
+
+queries = st.one_of(
+    st.lists(st.sampled_from(VOCAB), min_size=1, max_size=3).map(" ".join),
+    st.lists(st.sampled_from(VOCAB), min_size=1, max_size=3).map(
+        lambda ts: " ".join(f"+{t}" for t in ts)
+    ),
+)
+
+
+def build_engines(docs, num_shards):
+    single = TrustworthySearchEngine(CONFIG)
+    for doc in docs:
+        single.index_document(doc)
+    sharded = ShardedSearchEngine(CONFIG, num_shards=num_shards)
+    sharded.index_batch(docs)
+    return single, sharded
+
+
+class TestEquivalence:
+    """A K-shard archive answers exactly like a 1-shard archive."""
+
+    @given(docs=documents, query=queries, num_shards=st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_same_results_and_scores(self, docs, query, num_shards):
+        single, sharded = build_engines(docs, num_shards)
+        try:
+            expected = single.search(query, top_k=len(docs) + 1)
+            got = sharded.search(query, top_k=len(docs) + 1)
+            assert {r.doc_id for r in got} == {r.doc_id for r in expected}
+            by_id = {r.doc_id: r.score for r in got}
+            for r in expected:
+                # Scores agree to float-sum reassociation error: each
+                # shard accumulates the same statistics in its own order.
+                assert by_id[r.doc_id] == pytest.approx(r.score, abs=1e-9)
+        finally:
+            sharded.close()
+
+    @given(docs=documents, query=queries)
+    @settings(max_examples=20, deadline=None)
+    def test_single_shard_is_exactly_the_engine(self, docs, query):
+        single, sharded = build_engines(docs, num_shards=1)
+        try:
+            expected = [
+                (r.doc_id, r.score) for r in single.search(query, top_k=50)
+            ]
+            got = [
+                (r.doc_id, r.score) for r in sharded.search(query, top_k=50)
+            ]
+            assert got == expected
+        finally:
+            sharded.close()
+
+    def test_ranked_order_deterministic(self):
+        docs = ["alpha beta", "alpha alpha beta", "beta gamma", "alpha"]
+        single, sharded = build_engines(docs, num_shards=3)
+        with sharded:
+            expected = [r.doc_id for r in single.search("alpha beta")]
+            assert [r.doc_id for r in sharded.search("alpha beta")] == expected
+
+    def test_time_range_filter_respected(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=3)
+        with sharded:
+            sharded.index_batch([f"common doc{i}" for i in range(9)])
+            hits = sharded.search("common @3..5", top_k=20)
+            docs = {r.doc_id for r in hits}
+            assert docs == {3, 4, 5}
+
+
+class TestIngest:
+    def test_global_ids_dense_in_input_order(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=4)
+        with sharded:
+            ids = sharded.index_batch([f"doc {i}" for i in range(17)])
+            assert ids == list(range(17))
+            ids2 = sharded.index_document("one more")
+            assert ids2 == 17
+
+    def test_batched_ingest_io_matches_single_doc_ingest(self):
+        docs = [f"term{i % 7} term{(i * 3) % 7} filler" for i in range(24)]
+        one_at_a_time = ShardedSearchEngine(CONFIG, num_shards=3)
+        for doc in docs:
+            one_at_a_time.index_document(doc)
+        batched = ShardedSearchEngine(CONFIG, num_shards=3)
+        batched.index_batch(docs)
+        try:
+            for lone, grouped in zip(one_at_a_time.shards, batched.shards):
+                assert grouped.store.io.block_writes == (
+                    lone.store.io.block_writes
+                )
+                assert grouped.store.io.block_reads == (
+                    lone.store.io.block_reads
+                )
+        finally:
+            one_at_a_time.close()
+            batched.close()
+
+    def test_commit_times_validated(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=2)
+        with sharded:
+            sharded.index_batch(["a b", "c d"], commit_times=[5, 9])
+            with pytest.raises(WorkloadError):
+                sharded.index_batch(["late"], commit_times=[7])
+
+    def test_commit_time_length_mismatch_rejected(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=2)
+        with sharded:
+            with pytest.raises(WorkloadError):
+                sharded.index_batch(["a", "b"], commit_times=[1])
+
+    def test_buffered_ingestor_flushes_at_batch_size(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=2, batch_size=3)
+        with sharded:
+            for i in range(5):
+                sharded.ingestor.add(f"buffered doc {i}")
+            assert sharded.ingestor.pending == 2  # 3 auto-flushed
+            sharded.ingestor.flush()
+            assert sharded.ingestor.pending == 0
+            assert len(sharded.documents) == 5
+
+    def test_document_view_round_trip(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=3)
+        with sharded:
+            texts = [f"payload number {i}" for i in range(11)]
+            ids = sharded.index_batch(texts)
+            for global_id, text in zip(ids, texts):
+                doc = sharded.documents.get(global_id)
+                assert doc.doc_id == global_id
+                assert doc.text == text
+
+
+class TestTrust:
+    def test_per_shard_jump_tampering_detected(self):
+        from repro.adversary.attacks import block_jump_pointer_attack
+
+        config = EngineConfig(num_lists=1, block_size=512, branching=2)
+        sharded = ShardedSearchEngine(config, num_shards=2)
+        with sharded:
+            # Enough postings that each shard's single merged list spans
+            # multiple blocks, so a planted pointer is plausible.
+            sharded.index_batch([f"alpha beta doc{i}" for i in range(60)])
+            shard = sharded.shards[0]
+            jump = shard._jumps[0]
+            block_jump_pointer_attack(jump, target_block=0)
+            reports = full_sharded_audit(sharded)
+            bad = [r for r in reports if not r.ok]
+            assert bad
+            assert all(r.subject.startswith("shard 0") for r in bad)
+
+    def test_stuffed_shard_fails_verified_search(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=2)
+        with sharded:
+            sharded.index_batch([f"evidence doc{i}" for i in range(8)])
+            shard = sharded.shards[1]
+            tid = shard.term_id("evidence")
+            posting_list = shard._lists[shard._list_id_for(tid)]
+            posting_stuffing_attack(
+                posting_list, tid, count=len(shard.documents) + 3
+            )
+            with pytest.raises(TamperDetectedError):
+                sharded.search("evidence", top_k=50, verify=True)
+
+    def test_incident_handling_quarantines_fabricated_ids(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=2)
+        with sharded:
+            sharded.index_batch([f"evidence doc{i}" for i in range(8)])
+            shard = sharded.shards[1]
+            tid = shard.term_id("evidence")
+            posting_list = shard._lists[shard._list_id_for(tid)]
+            stuffed = posting_stuffing_attack(
+                posting_list, tid, count=len(shard.documents) + 3
+            )
+            fabricated = [s for s in stuffed if s >= len(shard.documents)]
+            results, report = sharded.search_with_incident_handling(
+                "evidence", top_k=50
+            )
+            assert not report.ok
+            assert {r.doc_id for r in results} == set(range(8))
+            quarantined = sharded.incidents.quarantined_doc_ids
+            assert len([g for g in quarantined if g < 0]) == len(fabricated)
+            # Quarantine persists: the second query returns clean results.
+            again, _ = sharded.search_with_incident_handling(
+                "evidence", top_k=50
+            )
+            assert {r.doc_id for r in again} == set(range(8))
+
+    def test_map_tampering_fails_audit(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=2)
+        with sharded:
+            sharded.index_batch(["a b", "c d", "e f"])
+            sharded.coordinator.open_file("shard/doc-map").append_record(
+                b"99 0 99\n"
+            )
+            reports = full_sharded_audit(sharded)
+            bad = [r for r in reports if not r.ok]
+            assert [r.subject for r in bad] == ["shard document map"]
+
+    def test_clean_archive_passes_audit(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=3)
+        with sharded:
+            sharded.index_batch([f"record doc{i}" for i in range(10)])
+            assert all(r.ok for r in full_sharded_audit(sharded))
+
+
+class TestRetention:
+    def test_dispose_expired_returns_global_ids(self):
+        config = EngineConfig(
+            num_lists=64, block_size=4096, branching=None, retention_period=5
+        )
+        sharded = ShardedSearchEngine(config, num_shards=3)
+        with sharded:
+            sharded.index_batch([f"purge doc{i}" for i in range(7)])
+            assert sharded.dispose_expired(now=100) == list(range(7))
+            assert sharded.search("purge", top_k=20) == []
+            # Disposition records vouch for the vanished documents.
+            assert sharded.verify_results([0, 3], ["purge"]).ok
+
+
+class TestProfiling:
+    def test_modeled_speedup_scales_with_shards(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=4)
+        with sharded:
+            sharded.index_batch(
+                [f"common unique{i}" for i in range(64)]
+            )
+            profile = profile_sharded_query(sharded, "common")
+            assert profile.shards == 4
+            assert profile.total_entries_scanned == sum(
+                p.entries_scanned for p in profile.per_shard
+            )
+            assert profile.critical_path_entries == max(
+                p.entries_scanned for p in profile.per_shard
+            )
+            assert profile.modeled_speedup >= 1.5
+            assert "4 shards" in profile.summary()
+
+
+class TestConstruction:
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            ShardedSearchEngine(CONFIG, num_shards=0)
+
+    def test_custom_stores_are_used(self):
+        stores = [
+            CachedWormStore(None, block_size=CONFIG.block_size)
+            for _ in range(2)
+        ]
+        sharded = ShardedSearchEngine(
+            CONFIG, num_shards=2, store_factory=lambda i: stores[i]
+        )
+        with sharded:
+            sharded.index_batch(["hello world", "goodbye world"])
+            assert any(s.device.total_bytes() for s in stores)
+
+    def test_archive_stats_aggregates(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=3)
+        with sharded:
+            sharded.index_batch([f"stat doc{i}" for i in range(9)])
+            stats = sharded.archive_stats()
+            assert stats["shards"] == 3
+            assert stats["documents"] == 9
+            assert sum(stats["shard_documents"]) == 9
+            assert stats["commit_log_records"] == 9

@@ -1,6 +1,5 @@
 """Integration tests for the Figure 3(c)-3(i) simulations."""
 
-import numpy as np
 import pytest
 
 from repro.core.epochs import prefix_query_frequencies, prefix_term_frequencies

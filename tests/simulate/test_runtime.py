@@ -1,8 +1,7 @@
 """Integration tests for the Figure 4 measured-runtime experiment."""
 
-import pytest
 
-from repro.simulate.runtime import figure4_sweep, measured_runtime_ratio
+from repro.simulate.runtime import measured_runtime_ratio
 
 
 class TestMeasuredRuntime:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cli import main, open_archive
-from repro.search.engine import EngineConfig
 
 
 @pytest.fixture()

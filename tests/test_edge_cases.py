@@ -7,7 +7,7 @@ cases) rather than one module's contract.
 
 import pytest
 
-from repro.errors import IndexError_, TamperDetectedError
+from repro.errors import IndexError_
 from repro.worm.storage import CachedWormStore
 
 

@@ -1,6 +1,5 @@
 """Coverage for the error hierarchy and small shared utilities."""
 
-import pytest
 
 from repro import errors
 

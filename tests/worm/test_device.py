@@ -7,7 +7,7 @@ from repro.errors import (
     UnknownFileError,
     WormViolationError,
 )
-from repro.worm.device import WormDevice, WormFile
+from repro.worm.device import WormDevice
 
 
 @pytest.fixture()

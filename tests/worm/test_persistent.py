@@ -1,8 +1,6 @@
 """Unit tests for the journaled (file-backed) WORM device."""
 
-import os
 import struct
-import zlib
 
 import pytest
 
