@@ -1,0 +1,77 @@
+"""JRN-GROUPCOMMIT — fsync amortization of journal group commit.
+
+Not a paper figure: this benchmark characterizes the durability layer
+the way the paper characterizes everything else — in deterministic
+operation counts rather than wall clock.  Fsync latency dominates
+durable ingest (one device round trip per barrier), so the honest
+scaling metric is *fsyncs per committed record*, counted exactly via
+the fault-injection layer's call counters.
+
+For a fixed journaled workload (1 create + N appends, fsync mode on),
+each group-commit size reports journal writes, flushes, fsyncs
+(including the final barrier at close), and the resulting amortization
+factor.  Writes and flushes are invariant across group sizes — group
+commit batches only the fsync barrier, never the log writes — which the
+table makes visible.
+"""
+
+from conftest import once
+
+from repro.simulate.report import format_table
+from repro.worm.faults import FaultInjectingWormDevice, FaultPlan
+from repro.worm.persistent import scan_journal
+
+RECORDS = 256  # 1 create + 255 appends; scale-independent on purpose
+GROUP_SIZES = (1, 4, 16, 64, 256)
+
+
+def _run_workload(path, group_commit):
+    plan = FaultPlan()
+    device = FaultInjectingWormDevice(
+        str(path),
+        plan=plan,
+        block_size=4096,
+        fsync=True,
+        group_commit=group_commit,
+    )
+    worm_file = device.create_file("records")
+    for i in range(RECORDS - 1):
+        worm_file.append_record(b"record %d" % i)
+    device.close()
+    report = scan_journal(str(path))
+    assert report.ok and report.records == RECORDS
+    return plan.counts
+
+
+def test_group_commit_fsync_amortization(benchmark, emit, tmp_path):
+    def run():
+        rows = []
+        for group in GROUP_SIZES:
+            counts = _run_workload(tmp_path / f"gc{group}.worm", group)
+            fsyncs = counts.get("fsync", 0)
+            rows.append(
+                (
+                    group,
+                    counts["write"],
+                    counts["flush"],
+                    fsyncs,
+                    f"{RECORDS / fsyncs:.1f}x",
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "JRN-GROUPCOMMIT",
+        format_table(
+            ["group size", "writes", "flushes", "fsyncs", "records/fsync"],
+            rows,
+            title=(
+                f"Journal group commit ({RECORDS} records, fsync mode): "
+                "barriers amortize, log writes do not"
+            ),
+        ),
+    )
+    # One fsync per record at group size 1; a single tail barrier at 256.
+    assert rows[0][3] == RECORDS
+    assert rows[-1][3] == 1

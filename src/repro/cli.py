@@ -12,6 +12,7 @@ Usage (also available as ``python -m repro``)::
     repro-search stats   --archive records.worm
     repro-search profile --archive records.worm "+a +b +c" --query-file log.txt
     repro-search dispose --archive records.worm --now TIME
+    repro-search verify-journal --archive records.worm
 
 The archive is one append-only journal file holding the entire WORM
 device: documents, posting lists, jump pointers, commit-time log,
@@ -31,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -100,14 +102,18 @@ def open_archive(
     shards: int = 1,
     workers: Optional[int] = None,
     batch_size: int = 64,
+    fsync: bool = False,
+    group_commit: int = 1,
 ):
     """Open (or with ``create``, initialize) an archive at ``path``.
 
     Returns ``(engine, handle)``; call ``handle.close()`` when done.
     ``shards`` only applies at ``create`` time — reopening reads the
-    shard count from the committed configuration.
+    shard count from the committed configuration.  ``fsync`` /
+    ``group_commit`` are per-session durability knobs applied to every
+    journal the archive opens (coordinator and shards alike).
     """
-    device = JournaledWormDevice(path)
+    device = JournaledWormDevice(path, fsync=fsync, group_commit=group_commit)
     store = CachedWormStore(None, device=device)
     if create is not None:
         if device.exists(_CONFIG_FILE):
@@ -126,7 +132,11 @@ def open_archive(
     devices = [device]
 
     def shard_store(shard_id: int) -> CachedWormStore:
-        shard_device = JournaledWormDevice(_shard_path(path, shard_id))
+        shard_device = JournaledWormDevice(
+            _shard_path(path, shard_id),
+            fsync=fsync,
+            group_commit=group_commit,
+        )
         devices.append(shard_device)
         return CachedWormStore(None, device=shard_device)
 
@@ -171,7 +181,12 @@ def _cmd_init(args) -> int:
 
 
 def _cmd_index(args) -> int:
-    engine, archive = open_archive(args.archive, batch_size=args.batch_size)
+    engine, archive = open_archive(
+        args.archive,
+        batch_size=args.batch_size,
+        fsync=args.fsync,
+        group_commit=args.group_commit,
+    )
     try:
         texts: List[str] = list(args.text or [])
         for file_name in args.files:
@@ -314,6 +329,38 @@ def _cmd_profile(args) -> int:
         archive.close()
 
 
+def _cmd_verify_journal(args) -> int:
+    """fsck for the archive: scan every journal without applying state.
+
+    Works even on archives too corrupt to open — scanning checks
+    framing, CRCs, sequence numbers, and opcodes record by record.
+    """
+    from repro.worm.persistent import scan_journal
+
+    if not os.path.exists(args.archive):
+        print(f"no archive at '{args.archive}'", file=sys.stderr)
+        return 2
+    paths = [args.archive]
+    shard_id = 0
+    while os.path.exists(_shard_path(args.archive, shard_id)):
+        paths.append(_shard_path(args.archive, shard_id))
+        shard_id += 1
+    tampered = 0
+    for path in paths:
+        report = scan_journal(path)
+        print(report.summary())
+        if not report.ok:
+            tampered += 1
+    scanned = "journal" if len(paths) == 1 else f"{len(paths)} journals"
+    if tampered:
+        print(
+            f"verified {scanned}: {tampered} TAMPERED", file=sys.stderr
+        )
+        return 1
+    print(f"verified {scanned}: clean")
+    return 0
+
+
 def _cmd_dispose(args) -> int:
     engine, archive = open_archive(args.archive)
     try:
@@ -365,6 +412,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=64,
         help="documents committed per batched index pass (default: 64)",
     )
+    index.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the journal(s) while indexing (durable but slower)",
+    )
+    index.add_argument(
+        "--group-commit", type=int, default=64,
+        help="with --fsync, records per fsync batch (default: 64; "
+        "1 = fsync every record)",
+    )
     index.set_defaults(func=_cmd_index)
 
     search = sub.add_parser("search", help="query the archive")
@@ -402,6 +458,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-file", help="file with one query per line (e.g. a query log)"
     )
     profile.set_defaults(func=_cmd_profile)
+
+    verify_journal = sub.add_parser(
+        "verify-journal",
+        help="fsck-style integrity scan of the archive journal(s)",
+    )
+    verify_journal.add_argument("--archive", required=True)
+    verify_journal.set_defaults(func=_cmd_verify_journal)
 
     dispose = sub.add_parser(
         "dispose", help="dispose of documents past their retention horizon"

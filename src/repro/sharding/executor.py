@@ -150,7 +150,25 @@ class ParallelQueryExecutor:
                 self.pool.submit(self._shard_run, i, query, aggregate)
                 for i in range(len(self.shards))
             ]
-            runs = [future.result() for future in futures]
+            runs = []
+            shard_index = -1
+            try:
+                for shard_index, future in enumerate(futures):
+                    runs.append(future.result())
+            except Exception as exc:
+                # One shard failed: stop sibling shards that have not
+                # started, then surface the failure with the shard
+                # attached (type-preserving, so TamperDetectedError
+                # handling upstream keeps working).
+                for pending in futures:
+                    pending.cancel()
+                try:
+                    exc.shard_index = shard_index
+                except AttributeError:  # pragma: no cover - slotted exc
+                    pass
+                if hasattr(exc, "add_note"):  # Python 3.11+
+                    exc.add_note(f"raised by shard {shard_index} during query fan-out")
+                raise
         merged = heapq.merge(*runs, key=_merge_key)
         return list(islice(merged, top_k))
 

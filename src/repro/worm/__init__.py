@@ -27,7 +27,11 @@ from repro.worm.block import Block
 from repro.worm.cache import CacheStats, LRUBlockCache
 from repro.worm.device import WormDevice, WormFile
 from repro.worm.iostats import IoStats
-from repro.worm.persistent import JournaledWormDevice
+from repro.worm.persistent import (
+    JournalScanReport,
+    JournaledWormDevice,
+    scan_journal,
+)
 from repro.worm.storage import CachedWormStore
 
 __all__ = [
@@ -35,8 +39,10 @@ __all__ = [
     "CacheStats",
     "CachedWormStore",
     "IoStats",
+    "JournalScanReport",
     "JournaledWormDevice",
     "LRUBlockCache",
     "WormDevice",
     "WormFile",
+    "scan_journal",
 ]

@@ -107,6 +107,33 @@ class WormFile:
         self._blocks.append(block)
         return block
 
+    def validate_append(self, payload: bytes) -> None:
+        """Check that :meth:`append_record` would accept ``payload``.
+
+        Raises without mutating anything — the journaled device calls
+        this *before* logging the append, so an operation that the
+        device would refuse is never written to the journal.
+        """
+        if len(payload) > self.block_size:
+            raise WormViolationError(
+                f"record of {len(payload)} bytes exceeds block size "
+                f"{self.block_size} of file '{self.name}'"
+            )
+
+    def validate_set_slot(self, block_no: int, slot_no: int) -> None:
+        """Check that :meth:`set_slot` would accept the assignment.
+
+        Raises without mutating anything (see :meth:`validate_append`).
+        """
+        block = self.block(block_no)
+        # get_slot bounds-checks slot_no; a committed value means the
+        # write-once slot is already taken.
+        if block.get_slot(slot_no) is not None:
+            raise WormViolationError(
+                f"slot {slot_no} of block {block_no} is already set to "
+                f"{block.get_slot(slot_no)}; WORM slots are write-once"
+            )
+
     def append_record(
         self, payload: bytes, *, force_new_block: bool = False
     ) -> Tuple[int, int]:
@@ -118,11 +145,7 @@ class WormFile:
         tail has room — used by posting lists that cap entries per block
         below raw capacity to reserve space for jump pointers.
         """
-        if len(payload) > self.block_size:
-            raise WormViolationError(
-                f"record of {len(payload)} bytes exceeds block size "
-                f"{self.block_size} of file '{self.name}'"
-            )
+        self.validate_append(payload)
         if (
             not self._blocks
             or force_new_block
@@ -187,10 +210,7 @@ class WormDevice:
             If ``name`` is already taken.  Honest writers never reuse names;
             Mala cannot replace a file by re-creating it.
         """
-        if name in self._files:
-            raise FileExistsOnWormError(
-                f"WORM file '{name}' already exists and cannot be replaced"
-            )
+        self.validate_create(name)
         worm_file = self._new_file(
             name,
             block_size=block_size or self.block_size,
@@ -199,6 +219,35 @@ class WormDevice:
         )
         self._files[name] = worm_file
         return worm_file
+
+    def validate_create(self, name: str) -> None:
+        """Check that :meth:`create_file` would accept ``name``.
+
+        Raises without mutating anything — the journaled device calls
+        this *before* logging the create, so a refused operation never
+        reaches the journal.
+        """
+        if name in self._files:
+            raise FileExistsOnWormError(
+                f"WORM file '{name}' already exists and cannot be replaced"
+            )
+
+    def validate_delete(self, name: str, *, now: Optional[float] = None) -> None:
+        """Check that :meth:`delete_file` would accept the deletion.
+
+        Raises without mutating anything (see :meth:`validate_create`).
+        """
+        worm_file = self.open_file(name)
+        expired = (
+            worm_file.retention_until is not None
+            and now is not None
+            and now >= worm_file.retention_until
+        )
+        if not expired:
+            raise WormViolationError(
+                f"WORM file '{name}' is within its retention period and "
+                "cannot be deleted"
+            )
 
     def _new_file(self, name: str, **kwargs) -> WormFile:
         """File factory; subclasses (e.g. the journaled device) override."""
@@ -223,17 +272,7 @@ class WormDevice:
         :class:`WormViolationError`; files with infinite retention
         (``retention_until is None``) can never be deleted.
         """
-        worm_file = self.open_file(name)
-        expired = (
-            worm_file.retention_until is not None
-            and now is not None
-            and now >= worm_file.retention_until
-        )
-        if not expired:
-            raise WormViolationError(
-                f"WORM file '{name}' is within its retention period and "
-                "cannot be deleted"
-            )
+        self.validate_delete(name, now=now)
         del self._files[name]
 
     def list_files(self) -> List[str]:

@@ -1,0 +1,229 @@
+"""Fault injection for the journaled WORM device.
+
+Crash-safety is a property of the *recovery path*, and recovery paths
+rot unless they are executed: journaled systems fail precisely at torn
+and partial writes (Protocol-Aware Recovery, FAST 2018), not on the
+happy path.  This module makes every failure mode of the journal write
+pipeline injectable so the test suite can drive replay through all of
+them:
+
+* **I/O faults** — fail (or tear) the journal file's ``write``,
+  ``flush``, or ``fsync`` on the Nth call.  An
+  :class:`InjectedFaultError` behaves like a real ``OSError``: the
+  device rolls the partial frame back and leaves memory untouched.
+* **Simulated crashes** — power loss at any byte of a journal write
+  (``keep_bytes``) or at any registered WAL stage between logging and
+  applying an operation.  :class:`SimulatedCrashError` derives from
+  ``BaseException`` *on purpose*: the device's rollback handler catches
+  ``Exception``, so a crash leaves its torn bytes on disk exactly like
+  a real power cut, and recovery has to cope at replay time.
+* **Byte-boundary tears** — :func:`tear_journal` truncates a journal
+  file to any prefix length, simulating the suffix a torn sector write
+  leaves behind.
+
+The registry of injection points is public so tests can enumerate them
+exhaustively: :data:`JOURNAL_OPS` are the faultable file operations and
+:data:`CRASH_POINTS` the WAL stages every journaled mutation passes
+through (see ``JournaledWormDevice._fault_point``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import BinaryIO, Dict, List, Optional
+
+from repro.worm.persistent import JournaledWormDevice
+
+#: Faultable journal file operations (Nth-call granularity).
+JOURNAL_OPS = ("write", "flush", "fsync")
+
+#: WAL stages of one journaled mutation (log first, then apply).
+WAL_STAGES = ("between-log-and-apply", "after-apply")
+
+#: Journaled mutating operations.
+JOURNALED_OPS = ("create", "append", "set_slot", "delete")
+
+#: Every registered crash point: ``"<op>:<stage>"``.
+CRASH_POINTS = tuple(
+    f"{op}:{stage}" for op in JOURNALED_OPS for stage in WAL_STAGES
+)
+
+
+class InjectedFaultError(OSError):
+    """A scripted I/O failure: the journal op fails, the process lives."""
+
+
+class SimulatedCrashError(BaseException):
+    """Simulated power loss.
+
+    Derives from ``BaseException`` so the device's
+    rollback-on-log-failure handler (``except Exception``) does not
+    engage: a crash must leave any partially written frame on disk for
+    replay to recognize as a torn tail, unlike a survivable I/O error
+    which is rolled back in-process.
+    """
+
+
+@dataclass
+class _Rule:
+    """One scripted fault: trip ``point`` on its ``on_call``-th hit."""
+
+    kind: str  # "fail" (survivable) or "crash" (process death)
+    point: str  # a JOURNAL_OPS name or a CRASH_POINTS name
+    on_call: int  # 1-based call index at which the fault fires
+    keep_bytes: Optional[int] = None  # torn write: bytes that reach disk
+    fired: bool = False
+
+
+class FaultPlan:
+    """A schedule of faults plus call counters for every fault point.
+
+    The counters tick even with no rules installed, so a dry run of a
+    workload through :class:`FaultInjectingWormDevice` doubles as the
+    enumeration of its injection points (one per counted call).
+    """
+
+    def __init__(self):
+        self.rules: List[_Rule] = []
+        self.counts: Dict[str, int] = {}
+        #: Set once a crash fired; every later journal op re-raises.
+        self.crashed = False
+
+    def fail(self, point: str, on_call: int = 1, *,
+             keep_bytes: Optional[int] = None) -> "FaultPlan":
+        """Fail ``point`` on its Nth call with :class:`InjectedFaultError`.
+
+        For ``write``, ``keep_bytes`` first lets that many bytes of the
+        frame reach the file (a torn write the device must roll back).
+        """
+        self.rules.append(_Rule("fail", point, on_call, keep_bytes))
+        return self
+
+    def crash(self, point: str, on_call: int = 1, *,
+              keep_bytes: Optional[int] = None) -> "FaultPlan":
+        """Simulate power loss at ``point``'s Nth call.
+
+        ``point`` may be a journal file op (``write``/``flush``/
+        ``fsync``) or a WAL stage from :data:`CRASH_POINTS`.
+        """
+        self.rules.append(_Rule("crash", point, on_call, keep_bytes))
+        return self
+
+    def count(self, point: str) -> int:
+        """How many times ``point`` has been hit so far."""
+        return self.counts.get(point, 0)
+
+    def _take(self, point: str) -> Optional[_Rule]:
+        calls = self.counts.get(point, 0) + 1
+        self.counts[point] = calls
+        for rule in self.rules:
+            if rule.point == point and rule.on_call == calls and not rule.fired:
+                rule.fired = True
+                return rule
+        return None
+
+
+class FaultyJournalFile:
+    """Journal file wrapper that counts calls and injects planned faults."""
+
+    def __init__(self, raw: BinaryIO, plan: FaultPlan):
+        self._raw = raw
+        self.plan = plan
+
+    def _trip(self, point: str, data: Optional[bytes] = None) -> None:
+        if self.plan.crashed:
+            raise SimulatedCrashError(
+                f"journal {point} after simulated power loss"
+            )
+        rule = self.plan._take(point)
+        if rule is None:
+            return
+        if data is not None and rule.keep_bytes:
+            # A torn write: only a prefix of the frame reaches the file.
+            self._raw.write(data[: rule.keep_bytes])
+        if rule.kind == "crash":
+            self.plan.crashed = True
+            raise SimulatedCrashError(
+                f"simulated power loss at journal {point} "
+                f"(call #{rule.on_call})"
+            )
+        raise InjectedFaultError(
+            f"injected journal {point} failure (call #{rule.on_call})"
+        )
+
+    def write(self, data: bytes) -> int:
+        self._trip("write", data)
+        return self._raw.write(data)
+
+    def flush(self) -> None:
+        self._trip("flush")
+        self._raw.flush()
+
+    def fsync(self) -> None:
+        """Counted fsync; ``JournaledWormDevice._fsync_journal`` calls it."""
+        self._trip("fsync")
+        os.fsync(self._raw.fileno())
+
+    def fileno(self) -> int:
+        return self._raw.fileno()
+
+    def close(self) -> None:
+        self._raw.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._raw.closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultyJournalFile({self._raw!r}, counts={self.plan.counts})"
+
+
+class FaultInjectingWormDevice(JournaledWormDevice):
+    """A journaled device whose journal I/O follows a :class:`FaultPlan`.
+
+    Behaves identically to :class:`JournaledWormDevice` until a planned
+    fault fires.  Note the initial magic stamp of a brand-new v2 journal
+    is ``write`` call #1, so the first record's frame is call #2.
+    """
+
+    def __init__(self, path: str, *, plan: Optional[FaultPlan] = None, **kwargs):
+        # Set before super().__init__, which opens (and may write) the journal.
+        self.plan = plan if plan is not None else FaultPlan()
+        super().__init__(path, **kwargs)
+
+    def _open_journal(self, path: str) -> BinaryIO:
+        return FaultyJournalFile(super()._open_journal(path), self.plan)
+
+    def _fault_point(self, name: str) -> None:
+        if self.plan.crashed:
+            raise SimulatedCrashError(
+                f"operation reached WAL stage '{name}' after simulated "
+                "power loss"
+            )
+        rule = self.plan._take(name)
+        if rule is not None:
+            # A fault *between* WAL stages can only be a crash: a
+            # survivable error here would leave the journal ahead of
+            # memory inside a live process, which the write-ahead
+            # contract forbids.
+            self.plan.crashed = True
+            raise SimulatedCrashError(
+                f"simulated power loss at WAL stage '{name}' "
+                f"(call #{rule.on_call})"
+            )
+
+
+def tear_journal(path: str, length: int) -> None:
+    """Truncate the journal at ``path`` to its first ``length`` bytes.
+
+    Simulates the prefix a torn write leaves behind at an arbitrary byte
+    boundary.  ``length`` must lie within the current file size — this
+    helper only tears, it never extends.
+    """
+    size = os.path.getsize(path)
+    if not 0 <= length <= size:
+        raise ValueError(
+            f"tear length {length} outside journal size {size} of '{path}'"
+        )
+    os.truncate(path, length)

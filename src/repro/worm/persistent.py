@@ -4,24 +4,60 @@ The in-memory :class:`~repro.worm.device.WormDevice` simulates the
 paper's storage box for experiments; :class:`JournaledWormDevice` makes
 the same semantics *durable* by writing every mutating operation to an
 append-only journal file before applying it, and replaying the journal
-on open. The journal is itself WORM-shaped: records are only ever
+on open.  The journal is itself WORM-shaped: records are only ever
 appended, each protected by a CRC32, with a strictly increasing sequence
 number — so offline tampering with the journal (edits, reordering,
 splices) is detected at replay time, exactly in the spirit of the
 paper's read-time monotonicity checks.
 
-Journal record format (little-endian)::
+Write-ahead contract
+--------------------
+Every mutating operation follows strict log-before-apply discipline
+(ARIES-style): the operation is validated against the in-memory state,
+then journaled, then applied.  If the journal write fails partway, the
+partial frame is rolled back (truncated) and the in-memory state is left
+untouched, so memory and journal never diverge inside a live process.
+A crash between log and apply is harmless: replay applies the logged
+operation on the next open.  Crash-safety is exercised exhaustively by
+the fault-injection suite driving :mod:`repro.worm.faults`.
 
-    u32 crc32( everything after this field )
+Journal formats (little-endian)
+-------------------------------
+Format **v2** (current; the file begins with the 8-byte magic
+``b"WORMJRN2"``)::
+
+    u8  record format version (currently 2)
+    u32 crc32( everything after the length field )
+    u32 record length
     u64 sequence number
     u8  opcode
     u16 name length | name bytes          (opcodes with a file name)
     ... opcode-specific fields ...
 
+Format **v1** (legacy; no file magic) framed records with a *u16*
+length, capping any record — and therefore any journaled append payload
+— below 64 KiB::
+
+    u32 crc32( everything after the length field )
+    u16 record length
+    u64 sequence number | u8 opcode | ...
+
+v1 journals written by earlier releases replay transparently and keep
+accepting v1-framed appends (with an explicit :class:`WormError` once a
+record would overflow the u16 length, instead of a raw ``struct.error``).
+New journals are always created in v2.
+
 A torn final record (power loss mid-append) is distinguishable from
 tampering: it fails to parse *and* is the suffix of the journal; replay
 truncates it and continues, because the paper's commit contract is that
 an operation counts once it is fully on stable storage.
+
+Group commit
+------------
+With ``fsync=True``, durability defaults to one ``os.fsync`` per record.
+``group_commit=N`` amortizes that to one fsync every N records; the
+:meth:`JournaledWormDevice.sync` barrier forces the tail group down at
+any time (and :meth:`~JournaledWormDevice.close` always ends with one).
 """
 
 from __future__ import annotations
@@ -29,7 +65,8 @@ from __future__ import annotations
 import os
 import struct
 import zlib
-from typing import BinaryIO, Optional
+from dataclasses import dataclass, field
+from typing import BinaryIO, Dict, Optional, Tuple
 
 from repro.errors import TamperDetectedError, WormError
 from repro.worm.device import DEFAULT_BLOCK_SIZE, WormDevice, WormFile
@@ -39,15 +76,190 @@ _OP_APPEND = 2
 _OP_SET_SLOT = 3
 _OP_DELETE = 4
 
-_HEADER = struct.Struct("<IQB")
+#: Opcode -> human-readable operation name (used by journal scans).
+OP_NAMES = {
+    _OP_CREATE: "create",
+    _OP_APPEND: "append",
+    _OP_SET_SLOT: "set_slot",
+    _OP_DELETE: "delete",
+}
+
+#: Journal format versions.
+FORMAT_V1 = 1
+FORMAT_V2 = 2
+
+#: File magic opening every v2 journal; v1 journals have no magic.
+JOURNAL_MAGIC = b"WORMJRN2"
+
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
 _F64 = struct.Struct("<d")
 
+#: v1 record frame: crc32, u16 record length.
+_FRAME_V1 = struct.Struct("<IH")
+#: v2 record frame: u8 record format version, crc32, u32 record length.
+_FRAME_V2 = struct.Struct("<BII")
+
+#: Largest record tail encodable in each format's length field.
+_MAX_TAIL = {FORMAT_V1: 0xFFFF, FORMAT_V2: 0xFFFFFFFF}
+
+
+def _parse_record(
+    data: bytes,
+    offset: int,
+    expected_seq: int,
+    fmt: int,
+    path: str,
+) -> Optional[Tuple[int, int, bytes]]:
+    """Parse one journal record at ``offset``.
+
+    Returns ``(end_offset, opcode, body)``; ``None`` for a torn record
+    (one that does not extend to a full frame); raises
+    :class:`TamperDetectedError` for CRC or sequence violations.
+    """
+    if fmt == FORMAT_V2:
+        if offset + _FRAME_V2.size > len(data):
+            return None  # torn frame header
+        version, crc, length = _FRAME_V2.unpack_from(data, offset)
+        if version != FORMAT_V2:
+            raise TamperDetectedError(
+                f"journal record at byte {offset} has unsupported format "
+                f"version {version}",
+                location=f"journal '{path}'",
+                invariant="journal-record-version",
+            )
+        start = offset + _FRAME_V2.size
+    else:
+        if offset + _FRAME_V1.size > len(data):
+            return None  # torn frame header
+        crc, length = _FRAME_V1.unpack_from(data, offset)
+        start = offset + _FRAME_V1.size
+    end = start + length
+    if end > len(data):
+        return None  # torn body
+    tail = data[start:end]
+    if zlib.crc32(tail) != crc:
+        raise TamperDetectedError(
+            f"journal record at byte {offset} fails its CRC",
+            location=f"journal '{path}'",
+            invariant="journal-crc",
+        )
+    seq, opcode = _U64.unpack_from(tail, 0)[0], tail[8]
+    if seq != expected_seq:
+        raise TamperDetectedError(
+            f"journal record at byte {offset} claims sequence {seq}, "
+            f"expected {expected_seq}",
+            location=f"journal '{path}'",
+            invariant="journal-sequence",
+        )
+    if opcode not in OP_NAMES:
+        raise TamperDetectedError(
+            f"journal contains unknown opcode {opcode}",
+            location=f"journal '{path}'",
+            invariant="journal-opcode",
+        )
+    return end, opcode, tail[9:]
+
+
+def _sniff_format(data: bytes) -> Tuple[int, int, bool]:
+    """Classify journal bytes: ``(format, record start offset, torn header)``.
+
+    A strict prefix of the v2 magic is a journal torn during creation —
+    treated as empty (the caller truncates and re-stamps the magic).
+    """
+    if data.startswith(JOURNAL_MAGIC):
+        return FORMAT_V2, len(JOURNAL_MAGIC), False
+    if data and len(data) < len(JOURNAL_MAGIC) and JOURNAL_MAGIC.startswith(data):
+        return FORMAT_V2, len(JOURNAL_MAGIC), True
+    if data:
+        return FORMAT_V1, 0, False
+    return FORMAT_V2, len(JOURNAL_MAGIC), False
+
+
+@dataclass
+class JournalScanReport:
+    """fsck-style summary of one journal file (no state is applied)."""
+
+    path: str
+    format_version: int
+    records: int = 0
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    total_bytes: int = 0
+    #: Bytes covered by fully committed records (magic + whole frames).
+    committed_bytes: int = 0
+    #: Trailing bytes of a torn final record (discarded at replay).
+    torn_bytes: int = 0
+    #: Tamper diagnosis, or ``None`` when the journal is sound.
+    error: Optional[str] = None
+    #: Short name of the violated invariant when ``error`` is set.
+    invariant: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the journal replays without a tamper alarm."""
+        return self.error is None
+
+    def summary(self) -> str:
+        """One human-readable line per journal, fsck style."""
+        status = "OK" if self.ok else "TAMPERED"
+        if self.ok and self.torn_bytes:
+            status = f"OK (torn tail: {self.torn_bytes} B discarded)"
+        ops = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.op_counts.items())
+        )
+        line = (
+            f"{self.path}: {status}  format=v{self.format_version} "
+            f"records={self.records} bytes={self.committed_bytes}"
+        )
+        if ops:
+            line += f"  [{ops}]"
+        if not self.ok:
+            line += f"\n  {self.invariant}: {self.error}"
+        return line
+
+
+def scan_journal(path: str) -> JournalScanReport:
+    """Verify a journal file without constructing a device.
+
+    Walks every record, checking framing, CRCs, sequence numbers, and
+    opcodes — the same checks replay performs — but applies nothing, so
+    it is safe to run on corrupt or foreign files.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    fmt, offset, torn_header = _sniff_format(data)
+    report = JournalScanReport(
+        path=path, format_version=fmt, total_bytes=len(data)
+    )
+    if torn_header:
+        report.torn_bytes = len(data)
+        return report
+    if not data:
+        return report
+    report.committed_bytes = min(offset, len(data))
+    expected_seq = 0
+    while offset < len(data):
+        try:
+            parsed = _parse_record(data, offset, expected_seq, fmt, path)
+        except TamperDetectedError as exc:
+            report.error = str(exc)
+            report.invariant = exc.invariant
+            break
+        if parsed is None:
+            report.torn_bytes = len(data) - offset
+            break
+        offset, opcode, _body = parsed
+        name = OP_NAMES[opcode]
+        report.op_counts[name] = report.op_counts.get(name, 0) + 1
+        report.committed_bytes = offset
+        expected_seq += 1
+    report.records = expected_seq
+    return report
+
 
 class _JournaledWormFile(WormFile):
-    """WormFile that journals appends and slot assignments."""
+    """WormFile that journals appends and slot assignments (log first)."""
 
     __slots__ = ("_journal",)
 
@@ -56,14 +268,28 @@ class _JournaledWormFile(WormFile):
         self._journal = journal
 
     def append_record(self, payload: bytes, *, force_new_block: bool = False):
-        if not self._journal.replaying:
-            self._journal.log_append(self.name, payload, force_new_block)
-        return super().append_record(payload, force_new_block=force_new_block)
+        journal = self._journal
+        if journal.replaying:
+            return super().append_record(payload, force_new_block=force_new_block)
+        # Validate -> log -> apply: a payload the device would refuse is
+        # never journaled, and a journaled payload is always applied.
+        self.validate_append(payload)
+        journal.log_append(self.name, payload, force_new_block)
+        journal._fault_point("append:between-log-and-apply")
+        result = super().append_record(payload, force_new_block=force_new_block)
+        journal._fault_point("append:after-apply")
+        return result
 
     def set_slot(self, block_no: int, slot_no: int, value: int) -> None:
-        if not self._journal.replaying:
-            self._journal.log_set_slot(self.name, block_no, slot_no, value)
+        journal = self._journal
+        if journal.replaying:
+            super().set_slot(block_no, slot_no, value)
+            return
+        self.validate_set_slot(block_no, slot_no)
+        journal.log_set_slot(self.name, block_no, slot_no, value)
+        journal._fault_point("set_slot:between-log-and-apply")
         super().set_slot(block_no, slot_no, value)
+        journal._fault_point("set_slot:after-apply")
 
 
 class JournaledWormDevice(WormDevice):
@@ -72,13 +298,19 @@ class JournaledWormDevice(WormDevice):
     Parameters
     ----------
     path:
-        Journal file path.  Created if missing; replayed if present.
+        Journal file path.  Created if missing (format v2); replayed if
+        present (v1 and v2 journals both replay; the on-disk format is
+        preserved for subsequent appends).
     block_size:
         Default block size for new files (must match across sessions;
         recorded per file in the journal).
     fsync:
-        Call ``os.fsync`` after every journal write.  Durable but slow;
+        Call ``os.fsync`` after journal writes.  Durable but slow;
         defaults to off for experiments.
+    group_commit:
+        With ``fsync=True``, fsync once per ``group_commit`` records
+        instead of once per record; :meth:`sync` is the explicit
+        barrier, and :meth:`close` always syncs the tail group.
     """
 
     def __init__(
@@ -87,35 +319,134 @@ class JournaledWormDevice(WormDevice):
         *,
         block_size: int = DEFAULT_BLOCK_SIZE,
         fsync: bool = False,
+        group_commit: int = 1,
     ):
         super().__init__(block_size=block_size)
+        if group_commit < 1:
+            raise ValueError(f"group_commit must be >= 1, got {group_commit}")
         self.path = path
         self.fsync = fsync
+        self.group_commit = group_commit
         self._sequence = 0
+        self._pending_records = 0
+        self._closed = False
         #: True while the constructor replays history (suppresses logging).
         self.replaying = False
-        existing = os.path.exists(path) and os.path.getsize(path) > 0
-        self._journal_file: BinaryIO = open(path, "ab")
-        if existing:
-            self._replay()
+        data = b""
+        if os.path.exists(path):
+            with open(path, "rb") as handle:
+                data = handle.read()
+        self.format_version, body_start, torn_header = _sniff_format(data)
+        self._journal_file: BinaryIO = self._open_journal(path)
+        if torn_header:
+            # Crash while stamping the magic of a brand-new journal:
+            # nothing was ever committed, so restart from scratch.
+            os.ftruncate(self._journal_file.fileno(), 0)
+            data = b""
+        if not data:
+            self._journal_file.write(JOURNAL_MAGIC)
+            self._journal_file.flush()
+            self._journal_size = len(JOURNAL_MAGIC)
+        else:
+            self._journal_size = len(data)
+            self._replay(data, body_start)
 
     # ------------------------------------------------------------------
-    # file factory / namespace ops (journaled)
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _open_journal(self, path: str) -> BinaryIO:
+        """Open the append handle; the fault-injecting device wraps it.
+
+        Unbuffered, so every journal write reaches the OS immediately
+        and a failed write can be rolled back to an exact byte boundary.
+        """
+        return open(path, "ab", buffering=0)
+
+    def _fault_point(self, name: str) -> None:
+        """Crash-point hook between WAL stages; a no-op in production.
+
+        :class:`repro.worm.faults.FaultInjectingWormDevice` overrides
+        this to simulate power loss at any registered point.
+        """
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def sync(self) -> None:
+        """Durability barrier: flush and fsync the journal now.
+
+        Completes any open group-commit batch regardless of the
+        ``fsync`` setting, so callers can run with ``fsync=False`` and
+        still place explicit durability points.
+        """
+        if self._closed:
+            raise WormError(f"journal '{self.path}' is closed")
+        self._journal_file.flush()
+        self._fsync_journal()
+        self._pending_records = 0
+
+    def close(self) -> None:
+        """Sync and close the journal handle (idempotent).
+
+        The in-memory device state stays readable; only further
+        journaled mutations are refused.
+        """
+        if self._closed:
+            return
+        try:
+            if self._pending_records:
+                self.sync()
+        finally:
+            self._closed = True
+            self._journal_file.close()
+
+    def __enter__(self) -> "JournaledWormDevice":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # file factory / namespace ops (journaled, log-before-apply)
     # ------------------------------------------------------------------
     def _new_file(self, name: str, **kwargs) -> WormFile:
         return _JournaledWormFile(name, journal=self, **kwargs)
 
-    def create_file(self, name, **kwargs):
-        worm_file = super().create_file(name, **kwargs)
-        if not self.replaying:
-            self._log_create(worm_file)
+    def create_file(self, name, *, block_size=None, slot_count=0,
+                    retention_until=None):
+        if self.replaying:
+            return super().create_file(
+                name,
+                block_size=block_size,
+                slot_count=slot_count,
+                retention_until=retention_until,
+            )
+        self.validate_create(name)
+        self._log_create(
+            name, block_size or self.block_size, slot_count, retention_until
+        )
+        self._fault_point("create:between-log-and-apply")
+        worm_file = super().create_file(
+            name,
+            block_size=block_size,
+            slot_count=slot_count,
+            retention_until=retention_until,
+        )
+        self._fault_point("create:after-apply")
         return worm_file
 
     def delete_file(self, name: str, *, now: Optional[float] = None) -> None:
+        if self.replaying:
+            super().delete_file(name, now=now)
+            return
+        self.validate_delete(name, now=now)
+        body = self._name_bytes(name) + _F64.pack(now if now is not None else -1.0)
+        self._write_record(_OP_DELETE, body)
+        self._fault_point("delete:between-log-and-apply")
         super().delete_file(name, now=now)
-        if not self.replaying:
-            body = self._name_bytes(name) + _F64.pack(now if now is not None else -1.0)
-            self._write_record(_OP_DELETE, body)
+        self._fault_point("delete:after-apply")
 
     # ------------------------------------------------------------------
     # journal writing
@@ -128,23 +459,75 @@ class JournaledWormDevice(WormDevice):
         return _U16.pack(len(raw)) + raw
 
     def _write_record(self, opcode: int, body: bytes) -> None:
+        if self._closed:
+            raise WormError(f"journal '{self.path}' is closed")
         tail = _U64.pack(self._sequence) + bytes([opcode]) + body
-        self._journal_file.write(_U32.pack(zlib.crc32(tail)) + _U16.pack(len(tail)) + tail)
-        self._journal_file.flush()
-        if self.fsync:
-            os.fsync(self._journal_file.fileno())
+        if len(tail) > _MAX_TAIL[self.format_version]:
+            raise WormError(
+                f"record of {len(tail)} bytes overflows the length field of "
+                f"journal format v{self.format_version} "
+                f"(max {_MAX_TAIL[self.format_version]} bytes)"
+                + (
+                    "; re-create the archive to get a v2 journal with u32 "
+                    "record lengths"
+                    if self.format_version == FORMAT_V1
+                    else ""
+                )
+            )
+        if self.format_version == FORMAT_V1:
+            frame = _FRAME_V1.pack(zlib.crc32(tail), len(tail)) + tail
+        else:
+            frame = _FRAME_V2.pack(FORMAT_V2, zlib.crc32(tail), len(tail)) + tail
+        committed = self._journal_size
+        pending = self._pending_records
+        try:
+            self._journal_file.write(frame)
+            self._journal_file.flush()
+            if self.fsync:
+                self._pending_records += 1
+                if self._pending_records >= self.group_commit:
+                    self._fsync_journal()
+                    self._pending_records = 0
+        except Exception:
+            # Rollback-on-log-failure: scrub any partially written frame
+            # so the journal never runs ahead of (or diverges from) the
+            # in-memory state the caller is about to leave unmutated.
+            # Simulated crashes derive from BaseException and skip this
+            # — a power loss leaves its torn bytes for replay to discard.
+            self._pending_records = pending
+            self._rollback_journal(committed)
+            raise
+        self._journal_size = committed + len(frame)
         self._sequence += 1
 
-    def _log_create(self, worm_file: WormFile) -> None:
-        retention = (
-            worm_file.retention_until
-            if worm_file.retention_until is not None
-            else -1.0
-        )
+    def _rollback_journal(self, size: int) -> None:
+        try:
+            self._journal_file.flush()
+        except Exception:
+            pass  # best effort; ftruncate below is what matters
+        os.ftruncate(self._journal_file.fileno(), size)
+
+    def _fsync_journal(self) -> None:
+        # The fault-injecting wrapper exposes its own fsync so syncs can
+        # be counted and failed; a plain file handle falls back to the OS.
+        fsync = getattr(self._journal_file, "fsync", None)
+        if fsync is not None:
+            fsync()
+        else:
+            os.fsync(self._journal_file.fileno())
+
+    def _log_create(
+        self,
+        name: str,
+        block_size: int,
+        slot_count: int,
+        retention_until: Optional[float],
+    ) -> None:
+        retention = retention_until if retention_until is not None else -1.0
         body = (
-            self._name_bytes(worm_file.name)
-            + _U32.pack(worm_file.block_size)
-            + _U32.pack(worm_file.slot_count)
+            self._name_bytes(name)
+            + _U32.pack(block_size)
+            + _U32.pack(slot_count)
             + _F64.pack(retention)
         )
         self._write_record(_OP_CREATE, body)
@@ -172,15 +555,15 @@ class JournaledWormDevice(WormDevice):
     # ------------------------------------------------------------------
     # replay
     # ------------------------------------------------------------------
-    def _replay(self) -> None:
+    def _replay(self, data: bytes, start: int) -> None:
         self.replaying = True
         try:
-            with open(self.path, "rb") as handle:
-                data = handle.read()
-            offset = 0
+            offset = start
             expected_seq = 0
             while offset < len(data):
-                parsed = self._parse_record(data, offset, expected_seq)
+                parsed = _parse_record(
+                    data, offset, expected_seq, self.format_version, self.path
+                )
                 if parsed is None:
                     # Torn tail: only acceptable as the journal's suffix.
                     break
@@ -189,38 +572,13 @@ class JournaledWormDevice(WormDevice):
                 expected_seq += 1
             self._sequence = expected_seq
             if offset < len(data):
-                # Something unparseable before EOF that is not a clean
-                # suffix would have raised in _parse_record; reaching here
-                # means a torn trailing record, which we discard.
-                pass
+                # Discard the torn trailing record on disk too, so new
+                # appends land at the committed boundary instead of
+                # after crash garbage (which would shadow them forever).
+                os.ftruncate(self._journal_file.fileno(), offset)
+                self._journal_size = offset
         finally:
             self.replaying = False
-
-    def _parse_record(self, data: bytes, offset: int, expected_seq: int):
-        if offset + 6 > len(data):
-            return None  # torn length header
-        (crc,) = _U32.unpack_from(data, offset)
-        (length,) = _U16.unpack_from(data, offset + 4)
-        start = offset + 6
-        end = start + length
-        if end > len(data):
-            return None  # torn body
-        tail = data[start:end]
-        if zlib.crc32(tail) != crc:
-            raise TamperDetectedError(
-                f"journal record at byte {offset} fails its CRC",
-                location=f"journal '{self.path}'",
-                invariant="journal-crc",
-            )
-        seq, opcode = _U64.unpack_from(tail, 0)[0], tail[8]
-        if seq != expected_seq:
-            raise TamperDetectedError(
-                f"journal record at byte {offset} claims sequence {seq}, "
-                f"expected {expected_seq}",
-                location=f"journal '{self.path}'",
-                invariant="journal-sequence",
-            )
-        return end, opcode, tail[9:]
 
     def _apply(self, opcode: int, body: bytes) -> None:
         (name_len,) = _U16.unpack_from(body, 0)
@@ -249,19 +607,15 @@ class JournaledWormDevice(WormDevice):
         elif opcode == _OP_DELETE:
             (now,) = _F64.unpack_from(body, cursor)
             self.delete_file(name, now=None if now < 0 else now)
-        else:
+        else:  # pragma: no cover - _parse_record rejects unknown opcodes
             raise TamperDetectedError(
                 f"journal contains unknown opcode {opcode}",
                 location=f"journal '{self.path}'",
                 invariant="journal-opcode",
             )
 
-    def close(self) -> None:
-        """Close the journal file handle (the device stays readable)."""
-        self._journal_file.close()
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"JournaledWormDevice('{self.path}', files={len(self)}, "
-            f"records={self._sequence})"
+            f"records={self._sequence}, format=v{self.format_version})"
         )

@@ -66,6 +66,24 @@ class CachedWormStore:
             return self.device.open_file(name)
         return self.device.create_file(name, slot_count=slot_count)
 
+    def sync(self) -> None:
+        """Durability barrier: fsync the device's journal, if it has one.
+
+        A no-op for purely in-memory devices; for a
+        :class:`~repro.worm.persistent.JournaledWormDevice` in
+        group-commit mode this forces the buffered tail of records to
+        stable storage.
+        """
+        sync = getattr(self.device, "sync", None)
+        if sync is not None:
+            sync()
+
+    def close(self) -> None:
+        """Close the device's journal handle, if it has one (idempotent)."""
+        close = getattr(self.device, "close", None)
+        if close is not None:
+            close()
+
     # ------------------------------------------------------------------
     # counted data paths
     # ------------------------------------------------------------------

@@ -1,0 +1,121 @@
+"""Shard failures during parallel query fan-out.
+
+A query fans out to every shard on a thread pool; when one shard raises,
+the executor must cancel the sibling futures that have not started,
+preserve the exception type (``TamperDetectedError`` handling upstream
+depends on it), and attach the failing shard's index.
+"""
+
+import pytest
+
+from repro.errors import TamperDetectedError
+from repro.search.engine import EngineConfig
+from repro.sharding import ShardedSearchEngine
+
+CONFIG = EngineConfig(num_lists=16, block_size=4096, branching=None)
+
+
+@pytest.fixture()
+def engine():
+    engine = ShardedSearchEngine(CONFIG, num_shards=3)
+    for i in range(12):
+        engine.index_document(f"compliance memo number{i} shared")
+    with engine:
+        yield engine
+
+
+class _RecordingFuture:
+    """Wraps a real future; records whether cancel() was attempted."""
+
+    def __init__(self, future):
+        self._future = future
+        self.cancel_attempts = 0
+
+    def result(self, timeout=None):
+        return self._future.result(timeout)
+
+    def cancel(self):
+        self.cancel_attempts += 1
+        return self._future.cancel()
+
+
+class _RecordingPool:
+    """Wraps the fan-out pool so tests can observe future cancellation."""
+
+    def __init__(self, pool):
+        self._pool = pool
+        self.futures = []
+
+    def submit(self, fn, *args, **kwargs):
+        future = _RecordingFuture(self._pool.submit(fn, *args, **kwargs))
+        self.futures.append(future)
+        return future
+
+    def shutdown(self, wait=True):
+        self._pool.shutdown(wait=wait)
+
+
+class TestShardFailurePropagation:
+    def test_exception_carries_failing_shard_index(self, engine):
+        def boom(query):
+            raise RuntimeError("disk gone")
+
+        engine.shards[1].match = boom
+        with pytest.raises(RuntimeError, match="disk gone") as excinfo:
+            engine.search("shared", verify=False)
+        assert excinfo.value.shard_index == 1
+
+    def test_exception_type_is_preserved(self, engine):
+        def tampered(query):
+            raise TamperDetectedError(
+                "posting list CRC mismatch",
+                location="shard 2",
+                invariant="posting-crc",
+            )
+
+        engine.shards[2].match = tampered
+        # Callers catching TamperDetectedError specifically (incident
+        # handling, audits) must keep working across the fan-out.
+        with pytest.raises(TamperDetectedError) as excinfo:
+            engine.search("shared", verify=False)
+        assert excinfo.value.shard_index == 2
+        assert excinfo.value.invariant == "posting-crc"
+
+    def test_sibling_futures_are_cancelled(self, engine):
+        def boom(query):
+            raise RuntimeError("shard 0 down")
+
+        engine.shards[0].match = boom
+        executor = engine.executor
+        executor._pool = _RecordingPool(executor.pool)
+        with pytest.raises(RuntimeError):
+            engine.search("shared", verify=False)
+        pool = executor._pool
+        assert len(pool.futures) == 3
+        # Every outstanding future got a cancellation attempt (including
+        # the failed one — cancelling a done future is a cheap no-op).
+        assert all(f.cancel_attempts == 1 for f in pool.futures)
+
+    def test_healthy_queries_still_work_after_a_failure(self, engine):
+        original = engine.shards[1].match
+
+        def flaky(query):
+            raise RuntimeError("transient")
+
+        engine.shards[1].match = flaky
+        with pytest.raises(RuntimeError):
+            engine.search("shared", verify=False)
+        engine.shards[1].match = original
+        results = engine.search("shared", verify=False, top_k=20)
+        assert len(results) == 12
+
+    def test_single_shard_engine_raises_without_pool(self):
+        engine = ShardedSearchEngine(CONFIG, num_shards=1)
+        engine.index_document("solo doc")
+
+        def boom(query):
+            raise RuntimeError("no pool involved")
+
+        engine.shards[0].match = boom
+        with engine, pytest.raises(RuntimeError, match="no pool involved"):
+            engine.search("doc", verify=False)

@@ -1,11 +1,21 @@
 """Unit tests for the journaled (file-backed) WORM device."""
 
+import os
 import struct
+import zlib
 
 import pytest
 
-from repro.errors import TamperDetectedError, WormViolationError
-from repro.worm.persistent import JournaledWormDevice
+from repro.errors import TamperDetectedError, WormError, WormViolationError
+from repro.worm.persistent import (
+    FORMAT_V1,
+    FORMAT_V2,
+    JOURNAL_MAGIC,
+    JournaledWormDevice,
+    scan_journal,
+)
+
+_V2_FRAME = struct.Struct("<BII")
 
 
 @pytest.fixture()
@@ -16,6 +26,54 @@ def journal_path(tmp_path):
 def reopen(device, path):
     device.close()
     return JournaledWormDevice(path)
+
+
+def v2_record_extents(data):
+    """Byte extents ``(start, end)`` of every v2 record in ``data``."""
+    extents = []
+    offset = len(JOURNAL_MAGIC)
+    while offset < len(data):
+        _version, _crc, length = _V2_FRAME.unpack_from(data, offset)
+        end = offset + _V2_FRAME.size + length
+        extents.append((offset, end))
+        offset = end
+    return extents
+
+
+def write_v1_journal(path, records):
+    """Write a legacy v1 journal exactly as pre-v2 releases framed it.
+
+    ``records`` are ``(opcode, body)`` pairs; sequence numbers are
+    assigned in order.  v1 has no file magic and u16 record lengths.
+    """
+    with open(path, "wb") as handle:
+        for seq, (opcode, body) in enumerate(records):
+            tail = struct.pack("<Q", seq) + bytes([opcode]) + body
+            handle.write(
+                struct.pack("<I", zlib.crc32(tail))
+                + struct.pack("<H", len(tail))
+                + tail
+            )
+
+
+def v1_create_body(name, block_size, slot_count=0, retention=-1.0):
+    raw = name.encode()
+    return (
+        struct.pack("<H", len(raw)) + raw
+        + struct.pack("<I", block_size)
+        + struct.pack("<I", slot_count)
+        + struct.pack("<d", retention)
+    )
+
+
+def v1_append_body(name, payload, force_new=False):
+    raw = name.encode()
+    return (
+        struct.pack("<H", len(raw)) + raw
+        + bytes([1 if force_new else 0])
+        + struct.pack("<I", len(payload))
+        + payload
+    )
 
 
 class TestDurability:
@@ -86,6 +144,132 @@ class TestDurability:
         store2 = CachedWormStore(8, device=JournaledWormDevice(journal_path))
         assert store2.open_file("pl").total_bytes() == 800
 
+    def test_rejected_ops_never_reach_the_journal(self, journal_path):
+        """An op the device refuses must not be logged (WAL validation)."""
+        device = JournaledWormDevice(journal_path, block_size=16)
+        f = device.create_file("f", slot_count=1)
+        f.append_record(b"x")
+        f.set_slot(0, 0, 1)
+        before = os.path.getsize(journal_path)
+        with pytest.raises(WormViolationError):
+            f.append_record(b"y" * 17)  # exceeds block size
+        with pytest.raises(WormViolationError):
+            f.set_slot(0, 0, 2)  # write-once slot taken
+        with pytest.raises(WormViolationError):
+            device.delete_file("f")  # infinite retention
+        assert os.path.getsize(journal_path) == before
+        device = reopen(device, journal_path)
+        assert device.open_file("f").read(0) == b"x"
+
+
+class TestFormatV2:
+    def test_new_journals_are_v2_with_magic(self, journal_path):
+        device = JournaledWormDevice(journal_path)
+        device.create_file("f")
+        device.close()
+        assert device.format_version == FORMAT_V2
+        with open(journal_path, "rb") as handle:
+            assert handle.read(len(JOURNAL_MAGIC)) == JOURNAL_MAGIC
+
+    def test_large_append_round_trips(self, journal_path):
+        """Regression: a >64 KiB payload overflowed the v1 u16 record length."""
+        device = JournaledWormDevice(journal_path, block_size=1 << 20)
+        payload = b"x" * 70000
+        device.create_file("big").append_record(payload)
+        device = reopen(device, journal_path)
+        assert device.open_file("big").read(0) == payload
+
+    def test_name_too_long_raises_worm_error(self, journal_path):
+        device = JournaledWormDevice(journal_path)
+        with pytest.raises(WormError, match="name too long"):
+            device.create_file("n" * 70000)
+
+
+class TestV1Compatibility:
+    def _write_legacy(self, journal_path):
+        write_v1_journal(
+            journal_path,
+            [
+                (1, v1_create_body("f", block_size=64, slot_count=1)),
+                (2, v1_append_body("f", b"legacy")),
+                (3, (
+                    struct.pack("<H", 1) + b"f"
+                    + struct.pack("<I", 0)
+                    + struct.pack("<I", 0)
+                    + struct.pack("<Q", 99)
+                )),
+            ],
+        )
+
+    def test_v1_journal_replays(self, journal_path):
+        self._write_legacy(journal_path)
+        device = JournaledWormDevice(journal_path)
+        assert device.format_version == FORMAT_V1
+        f = device.open_file("f")
+        assert f.read(0) == b"legacy"
+        assert f.get_slot(0, 0) == 99
+
+    def test_v1_journal_keeps_accepting_v1_appends(self, journal_path):
+        self._write_legacy(journal_path)
+        device = JournaledWormDevice(journal_path)
+        device.open_file("f").append_record(b"-more")
+        device = reopen(device, journal_path)
+        assert device.format_version == FORMAT_V1
+        assert device.open_file("f").read(0) == b"legacy-more"
+
+    def test_v1_oversize_record_raises_worm_error_not_struct_error(
+        self, journal_path
+    ):
+        self._write_legacy(journal_path)
+        device = JournaledWormDevice(journal_path)
+        device.create_file("big", block_size=1 << 20)
+        with pytest.raises(WormError, match="overflows the length field"):
+            device.open_file("big").append_record(b"x" * 70000)
+        # The refused record was never logged: the device stays sound.
+        device = reopen(device, journal_path)
+        assert device.open_file("big").total_bytes() == 0
+
+    def test_v1_scan(self, journal_path):
+        self._write_legacy(journal_path)
+        report = scan_journal(journal_path)
+        assert report.ok
+        assert report.format_version == FORMAT_V1
+        assert report.records == 3
+
+
+class TestCloseSemantics:
+    def test_close_is_idempotent(self, journal_path):
+        device = JournaledWormDevice(journal_path)
+        device.create_file("f")
+        device.close()
+        device.close()  # second close is a no-op
+        assert device.closed
+
+    def test_write_after_close_raises(self, journal_path):
+        device = JournaledWormDevice(journal_path)
+        f = device.create_file("f")
+        device.close()
+        with pytest.raises(WormError, match="closed"):
+            f.append_record(b"late")
+
+    def test_context_manager_round_trip(self, journal_path):
+        with JournaledWormDevice(journal_path, block_size=64) as device:
+            device.create_file("f").append_record(b"ctx")
+        assert device.closed
+        with JournaledWormDevice(journal_path) as device:
+            assert device.open_file("f").read(0) == b"ctx"
+
+    def test_close_reopen_round_trip_with_group_commit(self, journal_path):
+        device = JournaledWormDevice(
+            journal_path, block_size=64, fsync=True, group_commit=8
+        )
+        f = device.create_file("f")
+        for i in range(5):
+            f.append_record(b"r%d" % i)
+        device.close()  # must sync the open group tail
+        device = JournaledWormDevice(journal_path)
+        assert device.open_file("f").total_bytes() == 10
+
 
 class TestEngineOnDisk:
     def test_full_engine_round_trip(self, journal_path):
@@ -124,10 +308,25 @@ class TestTamperingAndCrashes:
         device = JournaledWormDevice(journal_path)
         assert device.open_file("f").total_bytes() == 40  # 10 * 'recN'
 
+    def test_torn_tail_is_truncated_so_later_appends_survive(self, journal_path):
+        """Regression: appends after a discarded torn tail used to be
+        shadowed by the garbage bytes and silently lost on the next
+        replay."""
+        self._fill(journal_path)
+        clean_size = os.path.getsize(journal_path)
+        with open(journal_path, "ab") as handle:
+            handle.write(b"\x99" * 7)
+        device = JournaledWormDevice(journal_path)
+        assert os.path.getsize(journal_path) == clean_size
+        device.open_file("f").append_record(b"after-tear")
+        device = reopen(device, journal_path)
+        assert device.open_file("f").total_bytes() == 50
+
     def test_bit_flip_detected(self, journal_path):
         self._fill(journal_path)
         data = bytearray(open(journal_path, "rb").read())
-        data[len(data) // 2] ^= 0xFF
+        start, _end = v2_record_extents(data)[0]
+        data[start + 11] ^= 0xFF  # inside the first record's tail
         open(journal_path, "wb").write(bytes(data))
         with pytest.raises(TamperDetectedError) as excinfo:
             JournaledWormDevice(journal_path)
@@ -137,18 +336,81 @@ class TestTamperingAndCrashes:
         """Deleting a middle record breaks the sequence numbering."""
         self._fill(journal_path)
         data = open(journal_path, "rb").read()
-        # Parse out the first record's extent and remove the second.
-        (length0,) = struct.unpack_from("<H", data, 4)
-        first_end = 6 + length0
-        (length1,) = struct.unpack_from("<H", data, first_end + 4)
-        second_end = first_end + 6 + length1
-        open(journal_path, "wb").write(data[:first_end] + data[second_end:])
+        extents = v2_record_extents(data)
+        (_s1, e1), (_s2, e2) = extents[0], extents[1]
+        open(journal_path, "wb").write(data[:e1] + data[e2:])
         with pytest.raises(TamperDetectedError) as excinfo:
             JournaledWormDevice(journal_path)
         assert excinfo.value.invariant == "journal-sequence"
+
+    def test_unsupported_record_version_detected(self, journal_path):
+        self._fill(journal_path)
+        data = bytearray(open(journal_path, "rb").read())
+        start, _end = v2_record_extents(data)[0]
+        data[start] = 9  # bogus per-record format version
+        open(journal_path, "wb").write(bytes(data))
+        with pytest.raises(TamperDetectedError) as excinfo:
+            JournaledWormDevice(journal_path)
+        assert excinfo.value.invariant == "journal-record-version"
+
+    def test_torn_magic_header_restarts_fresh(self, journal_path):
+        with open(journal_path, "wb") as handle:
+            handle.write(JOURNAL_MAGIC[:3])  # crash while stamping magic
+        device = JournaledWormDevice(journal_path)
+        assert len(device) == 0
+        device.create_file("f").append_record(b"ok")
+        device = reopen(device, journal_path)
+        assert device.open_file("f").read(0) == b"ok"
 
     def test_fsync_mode(self, journal_path):
         device = JournaledWormDevice(journal_path, fsync=True)
         device.create_file("f").append_record(b"durable")
         device.close()
         assert JournaledWormDevice(journal_path).open_file("f").read(0) == b"durable"
+
+
+class TestScanJournal:
+    def test_scan_clean_journal(self, journal_path):
+        device = JournaledWormDevice(journal_path, block_size=64)
+        device.create_file("f", slot_count=1)
+        device.open_file("f").append_record(b"data")
+        device.open_file("f").set_slot(0, 0, 1)
+        device.close()
+        report = scan_journal(journal_path)
+        assert report.ok
+        assert report.records == 3
+        assert report.op_counts == {"create": 1, "append": 1, "set_slot": 1}
+        assert report.torn_bytes == 0
+        assert report.committed_bytes == os.path.getsize(journal_path)
+        assert "OK" in report.summary()
+
+    def test_scan_reports_torn_tail(self, journal_path):
+        device = JournaledWormDevice(journal_path, block_size=64)
+        device.create_file("f")
+        device.close()
+        with open(journal_path, "ab") as handle:
+            handle.write(b"\x02\x01")
+        report = scan_journal(journal_path)
+        assert report.ok
+        assert report.torn_bytes == 2
+        assert "torn tail" in report.summary()
+
+    def test_scan_reports_tampering_without_raising(self, journal_path):
+        device = JournaledWormDevice(journal_path, block_size=64)
+        device.create_file("f")
+        device.open_file("f").append_record(b"data")
+        device.close()
+        data = bytearray(open(journal_path, "rb").read())
+        start, _end = v2_record_extents(data)[0]
+        data[start + 12] ^= 0xFF
+        open(journal_path, "wb").write(bytes(data))
+        report = scan_journal(journal_path)
+        assert not report.ok
+        assert report.invariant == "journal-crc"
+        assert "TAMPERED" in report.summary()
+
+    def test_scan_empty_journal(self, journal_path):
+        open(journal_path, "wb").close()
+        report = scan_journal(journal_path)
+        assert report.ok
+        assert report.records == 0
