@@ -25,13 +25,28 @@ import sys
 HERE = pathlib.Path(__file__).parent
 
 #: Compared for presence, not content (wall-clock measurements inside).
-NONDETERMINISTIC = {"FIG4.txt"}
+NONDETERMINISTIC = {"FIG4.txt", "OBS-OVERHEAD.txt"}
 
 
-def compare(out_dir: pathlib.Path, expected_dir: pathlib.Path) -> int:
-    """Diff ``out_dir`` against ``expected_dir``; returns the exit code."""
+def compare(
+    out_dir: pathlib.Path,
+    expected_dir: pathlib.Path,
+    only: str | None = None,
+) -> int:
+    """Diff ``out_dir`` against ``expected_dir``; returns the exit code.
+
+    With ``only``, restrict the comparison to the single expectation
+    named ``<only>.txt`` (so a CI job that regenerates one figure can
+    check just that figure without MISSING noise from the rest).
+    """
     failures = 0
     expected_files = sorted(p.name for p in expected_dir.glob("*.txt"))
+    if only is not None:
+        wanted = f"{only}.txt" if not only.endswith(".txt") else only
+        if wanted not in expected_files:
+            print(f"no expectation named {wanted} in {expected_dir}", file=sys.stderr)
+            return 1
+        expected_files = [wanted]
     if not expected_files:
         print(f"no expectation files in {expected_dir}", file=sys.stderr)
         return 1
@@ -60,13 +75,14 @@ def compare(out_dir: pathlib.Path, expected_dir: pathlib.Path) -> int:
         )
         for line in diff:
             print(f"  {line}")
-    stray = sorted(
-        p.name
-        for p in out_dir.glob("*.txt")
-        if p.name not in set(expected_files)
-    )
-    for name in stray:
-        print(f"STRAY    {name}: no committed expectation (add one?)")
+    if only is None:
+        stray = sorted(
+            p.name
+            for p in out_dir.glob("*.txt")
+            if p.name not in set(expected_files)
+        )
+        for name in stray:
+            print(f"STRAY    {name}: no committed expectation (add one?)")
     if failures:
         print(f"\n{failures} expectation(s) failed")
         return 1
@@ -84,8 +100,13 @@ def main(argv=None) -> int:
         "--expected", default=HERE / "out_small", type=pathlib.Path,
         help="committed expectation directory (default: benchmarks/out_small)",
     )
+    parser.add_argument(
+        "--only", default=None, metavar="NAME",
+        help="check a single expectation (e.g. OBS-OVERHEAD); skips the "
+        "stray-file scan",
+    )
     args = parser.parse_args(argv)
-    return compare(args.out, args.expected)
+    return compare(args.out, args.expected, only=args.only)
 
 
 if __name__ == "__main__":

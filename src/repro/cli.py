@@ -7,9 +7,11 @@ Usage (also available as ``python -m repro``)::
     repro-search index   --archive records.worm --text "..." [--text "..."]
     repro-search index   --archive records.worm file1.txt ... [--batch-size N]
     repro-search search  --archive records.worm "stewart waksal" [--top-k K]
-                         [--verify] [--workers W]
+                         [--verify] [--workers W] [--trace]
+                         [--metrics-json out.json]
     repro-search audit   --archive records.worm
     repro-search stats   --archive records.worm
+    repro-search metrics --archive records.worm [--json out.json]
     repro-search profile --archive records.worm "+a +b +c" --query-file log.txt
     repro-search dispose --archive records.worm --now TIME
     repro-search verify-journal --archive records.worm
@@ -151,6 +153,16 @@ def open_archive(
     return engine, _ArchiveHandle(devices, engine)
 
 
+def _write_metrics_json(engine, path: str, traces=()) -> None:
+    """Write one stable ``repro-metrics/v1`` JSON snapshot to ``path``."""
+    from repro.observability import metrics_document
+
+    doc = metrics_document(engine, traces=traces)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 # ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
@@ -209,6 +221,9 @@ def _cmd_index(args) -> int:
             for doc_id, text in zip(doc_ids, batch):
                 preview = " ".join(text.split())[:60]
                 print(f"committed doc {doc_id}: {preview}")
+        if args.metrics_json:
+            _write_metrics_json(engine, args.metrics_json)
+            print(f"wrote metrics snapshot to {args.metrics_json}")
         return 0
     finally:
         archive.close()
@@ -216,11 +231,16 @@ def _cmd_index(args) -> int:
 
 def _cmd_search(args) -> int:
     engine, archive = open_archive(args.archive, workers=args.workers)
+    trace = None
+    if args.trace or args.metrics_json:
+        from repro.observability import QueryTrace
+
+        trace = QueryTrace(args.query)
     try:
         try:
             if args.verify:
                 results, report = engine.search_with_incident_handling(
-                    args.query, top_k=args.top_k
+                    args.query, top_k=args.top_k, trace=trace
                 )
                 if not report.ok:
                     print(
@@ -229,17 +249,42 @@ def _cmd_search(args) -> int:
                         file=sys.stderr,
                     )
             else:
-                results = engine.search(args.query, top_k=args.top_k)
+                results = engine.search(
+                    args.query, top_k=args.top_k, trace=trace
+                )
         except TamperDetectedError as exc:
             print(f"TAMPERING DETECTED: {exc}", file=sys.stderr)
             return 3
-        if not results:
+        if results:
+            for hit in results:
+                doc = engine.documents.get(hit.doc_id)
+                preview = " ".join(doc.text.split())[:70]
+                print(f"doc {hit.doc_id}  score {hit.score:6.2f}  t={doc.commit_time}  {preview}")
+        else:
             print("no results")
-            return 0
-        for hit in results:
-            doc = engine.documents.get(hit.doc_id)
-            preview = " ".join(doc.text.split())[:70]
-            print(f"doc {hit.doc_id}  score {hit.score:6.2f}  t={doc.commit_time}  {preview}")
+        if args.trace and trace is not None:
+            print(trace.pretty())
+        if args.metrics_json:
+            _write_metrics_json(
+                engine, args.metrics_json, traces=[trace] if trace else []
+            )
+            print(f"wrote metrics snapshot to {args.metrics_json}")
+        return 0
+    finally:
+        archive.close()
+
+
+def _cmd_metrics(args) -> int:
+    """Render the archive's metrics (Prometheus text, optionally JSON)."""
+    from repro.observability import engine_metrics
+
+    engine, archive = open_archive(args.archive)
+    try:
+        registry = engine_metrics(engine)
+        if args.json:
+            _write_metrics_json(engine, args.json)
+            print(f"wrote metrics snapshot to {args.json}", file=sys.stderr)
+        sys.stdout.write(registry.render_prometheus())
         return 0
     finally:
         archive.close()
@@ -421,9 +466,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --fsync, records per fsync batch (default: 64; "
         "1 = fsync every record)",
     )
+    index.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write a metrics snapshot (repro-metrics/v1 JSON) after indexing",
+    )
     index.set_defaults(func=_cmd_index)
 
-    search = sub.add_parser("search", help="query the archive")
+    search = sub.add_parser(
+        "search", aliases=["query"], help="query the archive"
+    )
     search.add_argument("--archive", required=True)
     search.add_argument("query", help="keywords; '+a +b' = conjunctive; '@t1..t2' = time range")
     search.add_argument("--top-k", type=int, default=10)
@@ -435,6 +486,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="query fan-out threads on a sharded archive (default: one "
         "per shard)",
+    )
+    search.add_argument(
+        "--trace", action="store_true",
+        help="print the per-stage query trace (spans with micro-costs)",
+    )
+    search.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write a metrics snapshot (with the query trace) after searching",
     )
     search.set_defaults(func=_cmd_search)
 
@@ -448,6 +507,17 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="operational archive summary")
     stats.add_argument("--archive", required=True)
     stats.set_defaults(func=_cmd_stats)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render archive metrics (Prometheus text; --json for a snapshot)",
+    )
+    metrics.add_argument("--archive", required=True)
+    metrics.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the repro-metrics/v1 JSON snapshot to PATH",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     profile = sub.add_parser(
         "profile", help="measure query costs and recommend a configuration"

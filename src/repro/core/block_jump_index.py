@@ -108,6 +108,8 @@ class BlockJumpIndex:
             self.rebuild_path()
         #: Pointer-slot assignments performed (diagnostics).
         self.pointers_set = 0
+        #: Jump pointers followed (and certified) on the read path.
+        self.pointers_followed = 0
 
     # ------------------------------------------------------------------
     # construction helper
@@ -421,6 +423,7 @@ class BlockJumpIndex:
         target: int,
     ) -> None:
         """Certified-reader checks on a followed pointer (tamper tripwire)."""
+        self.pointers_followed += 1
         if target <= block_no:
             raise TamperDetectedError(
                 f"jump pointer from block {block_no} goes backwards to "

@@ -1,0 +1,414 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+The paper's evaluation is *accounting* — cache hits, blocks read per
+query, insert I/Os — and the engine already counts all of it, but in
+scattered objects (:class:`~repro.worm.iostats.IoStats`,
+:class:`~repro.worm.cache.CacheStats`, per-cursor block sets, journal
+sequence numbers).  :class:`MetricsRegistry` gives those counters one
+home with named registration and label support, so a single snapshot
+covers the storage, cache, index, and query layers, and one text
+rendering serves a Prometheus scrape.
+
+Design constraints:
+
+* **dependency-free** — standard library only;
+* **cheap on the hot path** — incrementing a bound series is one
+  attribute add; label resolution is a dict lookup callers can hoist
+  out of loops by binding children once (``family.labels(shard="0")``);
+* **optional** — :class:`NullMetricsRegistry` satisfies the same
+  interface with no-ops, so instrumented code runs unmetered without
+  branches (and the overhead benchmark can measure the difference).
+
+Series mutation is not locked: under CPython's GIL the float/int adds
+here are close enough to atomic for observability purposes, and every
+multi-threaded caller in this codebase (the shard fan-out) touches
+per-shard labelled series from exactly one thread.  Series *creation*
+is locked so concurrent first-touches of one label set cannot lose
+increments.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Default latency buckets (seconds): 100 µs to 2.5 s, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+class MetricsError(ReproError):
+    """Invalid metric registration or label usage."""
+
+
+class Counter:
+    """One monotonically increasing series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0 to stay a counter)."""
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Overwrite the running total.
+
+        For adapter use only: existing engine counters (``IoStats``,
+        journal sequence numbers, ...) are authoritative elsewhere, so
+        their exported series are *set* from the source of truth at
+        snapshot time rather than incremented in two places.
+        """
+        self.value = value
+
+
+class Gauge:
+    """One series that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Assign the current value."""
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """One fixed-bucket histogram series (cumulative ``le`` semantics)."""
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]):
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # + overflow
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+_SERIES_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric with a fixed label schema and one series per label set.
+
+    Obtained from a :class:`MetricsRegistry`; call :meth:`labels` to bind
+    a concrete series (hoist the binding out of hot loops).  Families
+    declared without labels proxy the series interface directly, so
+    ``registry.counter("x").inc()`` works.
+    """
+
+    __slots__ = ("name", "kind", "help", "label_names", "buckets", "_series", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        self._series: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: object):
+        """The series for one concrete label assignment (created on first use)."""
+        try:
+            key = tuple(str(labels[name]) for name in self.label_names)
+        except KeyError as exc:
+            raise MetricsError(
+                f"metric '{self.name}' requires labels "
+                f"{list(self.label_names)}, got {sorted(labels)}"
+            ) from exc
+        if len(labels) != len(self.label_names):
+            raise MetricsError(
+                f"metric '{self.name}' requires labels "
+                f"{list(self.label_names)}, got {sorted(labels)}"
+            )
+        series = self._series.get(key)
+        if series is None:
+            with self._lock:
+                series = self._series.get(key)
+                if series is None:
+                    if self.kind == "histogram":
+                        series = Histogram(self.buckets)
+                    else:
+                        series = _SERIES_TYPES[self.kind]()
+                    self._series[key] = series
+        return series
+
+    # Label-free convenience: the family acts as its own single series.
+    def _default(self):
+        if self.label_names:
+            raise MetricsError(
+                f"metric '{self.name}' is labelled by "
+                f"{list(self.label_names)}; bind a series with .labels()"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1) -> None:
+        self._default().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def series(self) -> List[Tuple[Dict[str, str], object]]:
+        """All series as ``(label dict, series)`` pairs, sorted by labels."""
+        return [
+            (dict(zip(self.label_names, key)), self._series[key])
+            for key in sorted(self._series)
+        ]
+
+
+class MetricsRegistry:
+    """Named registration of counters, gauges, and histograms.
+
+    Registration is idempotent: asking for an existing name with the
+    same kind and label schema returns the existing family (so shards
+    sharing one registry all bind the same families); a conflicting
+    re-registration raises :class:`MetricsError`.
+    """
+
+    #: Instrumented code may consult this to skip pure-measurement work
+    #: (clock reads) when metrics are off; see :class:`NullMetricsRegistry`.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        label_names = tuple(labels)
+        bucket_bounds = tuple(buckets) if buckets is not None else None
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.label_names != label_names:
+                    raise MetricsError(
+                        f"metric '{name}' already registered as "
+                        f"{existing.kind}{list(existing.label_names)}; "
+                        f"cannot re-register as {kind}{list(label_names)}"
+                    )
+                return existing
+            family = MetricFamily(name, kind, help_text, label_names, bucket_bounds)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", *, labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._register(name, "counter", help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", *, labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._register(name, "gauge", help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        *,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        return self._register(name, "histogram", help_text, labels, buckets)
+
+    def families(self) -> List[MetricFamily]:
+        """All registered families, sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A stable, JSON-serializable document of every series.
+
+        Families are keyed by name; series are sorted by label values,
+        so two snapshots of identical state serialize identically.
+        """
+        doc: Dict[str, object] = {}
+        for family in self.families():
+            series_docs = []
+            for label_map, series in family.series():
+                entry: Dict[str, object] = {"labels": label_map}
+                if family.kind == "histogram":
+                    entry["count"] = series.count
+                    entry["sum"] = series.sum
+                    entry["buckets"] = {
+                        _le_label(bound): count
+                        for bound, count in _cumulative(series)
+                    }
+                else:
+                    entry["value"] = series.value
+                series_docs.append(entry)
+            doc[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "label_names": list(family.label_names),
+                "series": series_docs,
+            }
+        return doc
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for label_map, series in family.series():
+                if family.kind == "histogram":
+                    for bound, count in _cumulative(series):
+                        labels = _render_labels({**label_map, "le": _le_label(bound)})
+                        lines.append(f"{family.name}_bucket{labels} {count}")
+                    labels = _render_labels(label_map)
+                    lines.append(f"{family.name}_sum{labels} {_fmt(series.sum)}")
+                    lines.append(f"{family.name}_count{labels} {series.count}")
+                else:
+                    labels = _render_labels(label_map)
+                    lines.append(f"{family.name}{labels} {_fmt(series.value)}")
+        return "\n".join(lines) + "\n"
+
+
+class _NullSeries:
+    """Absorbs every series operation; its own ``labels`` target."""
+
+    __slots__ = ()
+    value = 0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, **labels: object) -> "_NullSeries":
+        return self
+
+
+_NULL_SERIES = _NullSeries()
+
+
+class NullMetricsRegistry:
+    """A :class:`MetricsRegistry` stand-in whose metrics discard everything.
+
+    Instrumented components accept a registry at construction; passing
+    this one runs them unmetered with zero bookkeeping — the baseline
+    side of the observability overhead benchmark.
+    """
+
+    enabled = False
+
+    def counter(self, name, help_text: str = "", *, labels=()):
+        return _NULL_SERIES
+
+    def gauge(self, name, help_text: str = "", *, labels=()):
+        return _NULL_SERIES
+
+    def histogram(self, name, help_text: str = "", *, labels=(), buckets=()):
+        return _NULL_SERIES
+
+    def families(self):
+        return []
+
+    def snapshot(self):
+        return {}
+
+    def render_prometheus(self):
+        return ""
+
+
+def _cumulative(histogram: Histogram):
+    """``(bound, cumulative count)`` pairs ending with the +Inf bucket."""
+    running = 0
+    out = []
+    for bound, count in zip(histogram.bounds, histogram.bucket_counts):
+        running += count
+        out.append((bound, running))
+    out.append((float("inf"), histogram.count))
+    return out
+
+
+def _le_label(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return _fmt(bound)
+
+
+def _fmt(value: float) -> str:
+    """Render numbers the Prometheus way (integers without a decimal)."""
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(value)
+
+
+def _render_labels(label_map: Dict[str, str]) -> str:
+    if not label_map:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in label_map.items()
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )

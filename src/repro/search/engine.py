@@ -26,7 +26,9 @@ Example
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.block_jump_index import BlockJumpIndex
@@ -36,12 +38,38 @@ from repro.core.posting_list import PostingList
 from repro.core.time_index import CommitTimeIndex
 from repro.core.verification import AuditReport, audit_search_result
 from repro.errors import WorkloadError
+from repro.observability.metrics import MetricsRegistry
 from repro.search.analyzer import Analyzer
 from repro.search.documents import DocumentStore
 from repro.search.join import MergedListCursor, conjunctive_join
 from repro.search.query import QueryMode, parse_query
 from repro.search.ranking import BM25Scorer, CollectionStats, CosineScorer
 from repro.worm.storage import CachedWormStore
+
+
+#: Longest term (in UTF-8 bytes) the WORM lexicon log retains.
+MAX_LEXICON_TERM_BYTES = 128
+
+
+def lexicon_key(term: str) -> str:
+    """Canonical lexicon form of ``term``: at most
+    :data:`MAX_LEXICON_TERM_BYTES` of UTF-8, cut at a character boundary.
+
+    The engine stores this form both in memory and on WORM and looks
+    terms up through it, so the term→id→posting-list mapping survives
+    restarts byte for byte.  A raw byte-level slice (the historical
+    behaviour) could split a multi-byte character, which made the WORM
+    log undecodable on reopen and silently desynchronized long terms.
+    """
+    raw = term.encode("utf-8")
+    if len(raw) <= MAX_LEXICON_TERM_BYTES:
+        return term
+    cut = MAX_LEXICON_TERM_BYTES
+    # Back up over UTF-8 continuation bytes (0b10xxxxxx) so the cut
+    # never lands inside a multi-byte character.
+    while cut > 0 and (raw[cut] & 0xC0) == 0x80:
+        cut -= 1
+    return raw[:cut].decode("utf-8")
 
 
 @dataclass(frozen=True)
@@ -110,6 +138,15 @@ class TrustworthySearchEngine:
     store:
         Bring-your-own WORM store (shared with other components);
         otherwise the engine creates one per the config.
+    metrics:
+        Metrics registry to instrument into (shared across shards by the
+        sharded engine).  Defaults to a fresh
+        :class:`~repro.observability.metrics.MetricsRegistry`; pass a
+        :class:`~repro.observability.metrics.NullMetricsRegistry` to run
+        unmetered.
+    metrics_labels:
+        Base labels stamped on every series this engine emits (the
+        sharded engine passes ``{"shard": "<i>"}``).
     """
 
     def __init__(
@@ -118,11 +155,14 @@ class TrustworthySearchEngine:
         *,
         merge_strategy: Optional[MergeStrategy] = None,
         store: Optional[CachedWormStore] = None,
+        metrics=None,
+        metrics_labels: Optional[Mapping[str, object]] = None,
     ):
         self.config = config or EngineConfig()
         self.store = store or CachedWormStore(
             self.config.cache_blocks, block_size=self.config.block_size
         )
+        self._init_metrics(metrics, metrics_labels)
         self.analyzer = Analyzer()
         self.documents = DocumentStore(self.store)
         self.stats = CollectionStats()
@@ -180,11 +220,11 @@ class TrustworthySearchEngine:
                 continue
             text = self.documents.get(doc_id).text
             term_counts = self.analyzer.term_counts(text)
-            id_counts = {
-                self._term_ids[t]: c
-                for t, c in term_counts.items()
-                if t in self._term_ids
-            }
+            id_counts = {}
+            for t, c in term_counts.items():
+                tid = self.term_id(t)
+                if tid is not None:
+                    id_counts[tid] = c
             if id_counts:
                 self.stats.add_document(doc_id, id_counts)
                 for term_id in id_counts:
@@ -193,19 +233,140 @@ class TrustworthySearchEngine:
                     )
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _init_metrics(
+        self, metrics, metrics_labels: Optional[Mapping[str, object]]
+    ) -> None:
+        """Register this engine's metric families and bind hot-path series."""
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metrics_labels: Dict[str, str] = {
+            k: str(v) for k, v in (metrics_labels or {}).items()
+        }
+        self._metrics_on = bool(self.metrics.enabled)
+        base = tuple(self._metrics_labels)
+        bound = self._metrics_labels
+        m = self.metrics
+        self._m_queries = m.counter(
+            "repro_queries_total",
+            "Queries executed, by retrieval mode",
+            labels=base + ("mode",),
+        )
+        self._m_stage = m.histogram(
+            "repro_query_stage_seconds",
+            "Latency of each query stage",
+            labels=base + ("stage",),
+        )
+        self._m_list_blocks = m.counter(
+            "repro_join_list_blocks_total",
+            "Blocks read by conjunctive joins, per physical list",
+            labels=base + ("list_id",),
+        )
+        self._c_docs = m.counter(
+            "repro_documents_indexed_total",
+            "Documents committed to WORM and indexed",
+            labels=base,
+        ).labels(**bound)
+        self._c_postings = m.counter(
+            "repro_postings_appended_total",
+            "Posting entries appended to merged lists",
+            labels=base,
+        ).labels(**bound)
+        self._c_seeks = m.counter(
+            "repro_join_seeks_total",
+            "Cursor FindGeq seeks performed by conjunctive joins",
+            labels=base,
+        ).labels(**bound)
+        self._c_join_blocks = m.counter(
+            "repro_join_blocks_read_total",
+            "Distinct posting-list blocks read by conjunctive joins",
+            labels=base,
+        ).labels(**bound)
+        self._c_follows = m.counter(
+            "repro_jump_pointer_follows_total",
+            "Jump pointers followed (and certified) by joins",
+            labels=base,
+        ).labels(**bound)
+        self._c_scan_entries = m.counter(
+            "repro_scan_entries_total",
+            "Posting entries scanned on the disjunctive path",
+            labels=base,
+        ).labels(**bound)
+        self._m_ingest = m.histogram(
+            "repro_ingest_seconds",
+            "Per-document commit+index latency",
+            labels=base,
+        ).labels(**bound)
+        self._stage_bound: Dict[str, object] = {}
+        self._mode_bound: Dict[str, object] = {}
+        self._list_blocks_bound: Dict[int, object] = {}
+
+    def _stage_series(self, stage: str):
+        series = self._stage_bound.get(stage)
+        if series is None:
+            series = self._m_stage.labels(**self._metrics_labels, stage=stage)
+            self._stage_bound[stage] = series
+        return series
+
+    def _mode_series(self, mode: str):
+        series = self._mode_bound.get(mode)
+        if series is None:
+            series = self._m_queries.labels(**self._metrics_labels, mode=mode)
+            self._mode_bound[mode] = series
+        return series
+
+    def _list_blocks_series(self, list_id: int):
+        series = self._list_blocks_bound.get(list_id)
+        if series is None:
+            series = self._m_list_blocks.labels(
+                **self._metrics_labels, list_id=list_id
+            )
+            self._list_blocks_bound[list_id] = series
+        return series
+
+    @contextmanager
+    def _stage(self, name: str, trace, **attrs):
+        """Time one query stage into the stage histogram and, when a
+        :class:`~repro.observability.trace.QueryTrace` is attached, a
+        span.  Yields the span (``None`` without a trace) so stages can
+        :meth:`~repro.observability.trace.Span.note` their micro-costs.
+        """
+        span = trace.begin(name, **attrs) if trace is not None else None
+        timed = self._metrics_on
+        start = perf_counter() if timed else 0.0
+        try:
+            yield span
+        finally:
+            if timed:
+                self._stage_series(name).observe(perf_counter() - start)
+            if span is not None:
+                trace.finish(span)
+
+    # ------------------------------------------------------------------
     # lexicon
     # ------------------------------------------------------------------
     def term_id(self, term: str, *, create: bool = False) -> Optional[int]:
-        """Engine-local term ID for ``term`` (optionally allocating one)."""
+        """Engine-local term ID for ``term`` (optionally allocating one).
+
+        Terms are canonicalized via :func:`lexicon_key` before lookup and
+        allocation, so the in-memory lexicon, the WORM lexicon log, and
+        query-time lookups always agree on one byte sequence per term.
+        """
+        term = lexicon_key(term)
         existing = self._term_ids.get(term)
         if existing is not None or not create:
             return existing
+        if "\n" in term:
+            raise WorkloadError(
+                f"term {term!r} contains a newline; the WORM lexicon log "
+                f"is newline-delimited and cannot represent it"
+            )
         term_id = len(self._terms)
         if term_id > MAX_TERM_ID_WITH_TF:
             raise WorkloadError("lexicon exceeded the 24-bit term-id space")
         self._term_ids[term] = term_id
         self._terms.append(term)
-        self._lexicon_file.append_record(term.encode("utf-8")[:128] + b"\n")
+        self._lexicon_file.append_record(term.encode("utf-8") + b"\n")
         return term_id
 
     @property
@@ -302,6 +463,7 @@ class TrustworthySearchEngine:
         term_counts: Dict[str, int],
         commit_time: Optional[int],
     ) -> int:
+        start = perf_counter() if self._metrics_on else 0.0
         if commit_time is None:
             commit_time = self._clock
         if commit_time < self._clock:
@@ -336,6 +498,10 @@ class TrustworthySearchEngine:
             self._term_postings[term_id] = self._term_postings.get(term_id, 0) + 1
         self.time_index.record_commit(doc_id, commit_time)
         self.stats.add_document(doc_id, id_counts)
+        if self._metrics_on:
+            self._c_docs.inc()
+            self._c_postings.inc(len(id_counts))
+            self._m_ingest.observe(perf_counter() - start)
         return doc_id
 
     def index_batch(
@@ -412,6 +578,11 @@ class TrustworthySearchEngine:
                 jump.insert_many(postings_by_list[list_id])
             else:
                 posting_list.append_many(postings_by_list[list_id])
+        if self._metrics_on:
+            self._c_docs.inc(len(doc_ids))
+            self._c_postings.inc(
+                sum(len(entries) for entries in postings_by_list.values())
+            )
         return doc_ids
 
     # ------------------------------------------------------------------
@@ -423,25 +594,42 @@ class TrustworthySearchEngine:
         *,
         top_k: int = 10,
         verify: Optional[bool] = None,
+        trace=None,
     ) -> List[SearchResult]:
         """Run a query and return ranked results.
 
         ``query`` may be a raw string (parsed with the engine's analyzer,
         see :func:`repro.search.query.parse_query`) or a prepared
-        :class:`~repro.search.query.Query`.
+        :class:`~repro.search.query.Query`.  Pass a
+        :class:`~repro.observability.trace.QueryTrace` as ``trace`` to
+        record per-stage spans (parse → resolve → join/scan → rank →
+        verify) with their micro-costs.
         """
-        if isinstance(query, str):
-            query = parse_query(query, analyzer=self.analyzer)
-        candidates = self.match(query)
-        results = [
-            SearchResult(doc_id=d, score=self._scorer.score(d, tf))
-            for d, tf in candidates.items()
-        ]
-        results.sort(key=lambda r: (-r.score, r.doc_id))
-        results = results[:top_k]
+        with self._stage("parse", trace) as span:
+            if isinstance(query, str):
+                query = parse_query(query, analyzer=self.analyzer)
+            if span is not None:
+                span.note(
+                    terms=len(query.terms), mode=query.mode.name.lower()
+                )
+        candidates = self.match(query, trace=trace)
+        with self._stage("rank", trace, candidates=len(candidates)):
+            results = [
+                SearchResult(doc_id=d, score=self._scorer.score(d, tf))
+                for d, tf in candidates.items()
+            ]
+            results.sort(key=lambda r: (-r.score, r.doc_id))
+            results = results[:top_k]
+        if self._metrics_on:
+            self._mode_series(query.mode.name.lower()).inc()
         should_verify = self.config.verify_results if verify is None else verify
         if should_verify:
-            report = self.verify_results([r.doc_id for r in results], query.terms)
+            with self._stage("verify", trace, results=len(results)) as span:
+                report = self.verify_results(
+                    [r.doc_id for r in results], query.terms
+                )
+                if span is not None:
+                    span.note(ok=report.ok)
             if not report.ok:
                 # Surface the stuffing attempt; the caller (Bob) decides
                 # what to do with the evidence.
@@ -454,7 +642,7 @@ class TrustworthySearchEngine:
                 )
         return results
 
-    def match(self, query) -> Dict[int, Dict[int, int]]:
+    def match(self, query, *, trace=None) -> Dict[int, Dict[int, int]]:
         """Matching documents with their per-term-ID frequency maps.
 
         Runs the query's retrieval phase only: posting-list scanning or
@@ -470,61 +658,87 @@ class TrustworthySearchEngine:
         if isinstance(query, str):
             query = parse_query(query, analyzer=self.analyzer)
         if query.mode is QueryMode.ALL:
-            doc_ids, _ = self.conjunctive_doc_ids(query.terms)
+            doc_ids, _ = self.conjunctive_doc_ids(query.terms, trace=trace)
             candidates = {
                 d: self._result_term_freqs(d, query.terms) for d in doc_ids
             }
         else:
-            candidates = self._disjunctive_candidates(query.terms)
-        if query.time_range is not None:
-            allowed = set(self.time_index.docs_in_range(*query.time_range))
-            candidates = {d: tf for d, tf in candidates.items() if d in allowed}
+            candidates = self._disjunctive_candidates(query.terms, trace=trace)
         retention = self._retention_if_any()
-        if retention is not None and len(retention):
-            candidates = {
-                d: tf
-                for d, tf in candidates.items()
-                if not retention.is_disposed(d)
-            }
+        has_filters = query.time_range is not None or (
+            retention is not None and len(retention)
+        )
+        if has_filters:
+            with self._stage(
+                "filter", trace, candidates=len(candidates)
+            ) as span:
+                if query.time_range is not None:
+                    allowed = set(
+                        self.time_index.docs_in_range(*query.time_range)
+                    )
+                    candidates = {
+                        d: tf for d, tf in candidates.items() if d in allowed
+                    }
+                if retention is not None and len(retention):
+                    candidates = {
+                        d: tf
+                        for d, tf in candidates.items()
+                        if not retention.is_disposed(d)
+                    }
+                if span is not None:
+                    span.note(kept=len(candidates))
         return candidates
 
     def _disjunctive_candidates(
-        self, terms: Sequence[str]
+        self, terms: Sequence[str], *, trace=None
     ) -> Dict[int, Dict[int, int]]:
         """Scan the merged lists of the query terms; collect tf per doc."""
-        term_ids = [self.term_id(t) for t in terms]
-        present = [t for t in term_ids if t is not None]
+        with self._stage("resolve", trace, terms=len(terms)) as span:
+            term_ids = [self.term_id(t) for t in terms]
+            present = [t for t in term_ids if t is not None]
+            wanted = set(present)
+            list_ids = sorted({self._list_id_for(t) for t in present})
+            if span is not None:
+                span.note(present=len(present), lists=len(list_ids))
         candidates: Dict[int, Dict[int, int]] = {}
-        wanted = set(present)
-        for list_id in sorted({self._list_id_for(t) for t in present}):
-            posting_list = self._existing_list(list_id)
-            if posting_list is None:
-                continue
-            for posting in posting_list.scan(counted=False):
-                term_id, tf = unpack_term_tf(posting.term_code)
-                if term_id in wanted:
-                    tf_map = candidates.setdefault(posting.doc_id, {})
-                    tf_map[term_id] = max(tf_map.get(term_id, 0), tf)
+        with self._stage("scan", trace, lists=len(list_ids)) as span:
+            entries = 0
+            for list_id in list_ids:
+                posting_list = self._existing_list(list_id)
+                if posting_list is None:
+                    continue
+                for posting in posting_list.scan(counted=False):
+                    entries += 1
+                    term_id, tf = unpack_term_tf(posting.term_code)
+                    if term_id in wanted:
+                        tf_map = candidates.setdefault(posting.doc_id, {})
+                        tf_map[term_id] = max(tf_map.get(term_id, 0), tf)
+            if self._metrics_on:
+                self._c_scan_entries.inc(entries)
+            if span is not None:
+                span.note(entries_scanned=entries, candidates=len(candidates))
         return candidates
 
-    def conjunctive_doc_ids(self, terms: Sequence[str]) -> Tuple[List[int], int]:
-        """Documents containing *all* terms, plus blocks read (Section 4).
-
-        Absent terms short-circuit to an empty result — a document cannot
-        contain a term that has no postings.
+    def _conjunctive_cursors(
+        self, terms: Sequence[str]
+    ) -> Optional[Tuple[List[MergedListCursor], List[int]]]:
+        """Term-filtered cursors (and their list IDs) for the distinct
+        query terms, or ``None`` when any term short-circuits the join —
+        a document cannot contain a term that has no postings.
         """
         term_ids = []
         for term in dict.fromkeys(terms):
             term_id = self.term_id(term)
             if term_id is None:
-                return [], 0
+                return None
             term_ids.append(term_id)
-        cursors = []
+        cursors: List[MergedListCursor] = []
+        list_ids: List[int] = []
         for term_id in term_ids:
             list_id = self._list_id_for(term_id)
             posting_list = self._existing_list(list_id)
             if posting_list is None or not len(posting_list):
-                return [], 0
+                return None
             cursors.append(
                 MergedListCursor(
                     posting_list,
@@ -533,7 +747,52 @@ class TrustworthySearchEngine:
                     length_hint=self._term_postings.get(term_id, 0),
                 )
             )
-        return conjunctive_join(cursors)
+            list_ids.append(list_id)
+        return cursors, list_ids
+
+    def conjunctive_doc_ids(
+        self, terms: Sequence[str], *, trace=None
+    ) -> Tuple[List[int], int]:
+        """Documents containing *all* terms, plus blocks read (Section 4).
+
+        Absent terms short-circuit to an empty result.  The zigzag join's
+        micro-costs — seeks, blocks read (total and per physical list),
+        jump-pointer follows — feed the metrics registry and, when a
+        trace is attached, the ``join`` span's attributes.
+        """
+        with self._stage("resolve", trace, terms=len(dict.fromkeys(terms))) as span:
+            built = self._conjunctive_cursors(terms)
+            if span is not None and built is not None:
+                span.note(lists=len(set(built[1])))
+        if built is None:
+            return [], 0
+        cursors, list_ids = built
+        with self._stage("join", trace, cursors=len(cursors)) as span:
+            jumps: List[BlockJumpIndex] = []
+            seen_jumps = set()
+            for list_id in list_ids:
+                jump = self._jumps.get(list_id)
+                if jump is not None and id(jump) not in seen_jumps:
+                    seen_jumps.add(id(jump))
+                    jumps.append(jump)
+            follows_before = sum(j.pointers_followed for j in jumps)
+            doc_ids, blocks = conjunctive_join(cursors)
+            seeks = sum(c.seeks for c in cursors)
+            follows = sum(j.pointers_followed for j in jumps) - follows_before
+            if self._metrics_on:
+                self._c_seeks.inc(seeks)
+                self._c_join_blocks.inc(blocks)
+                self._c_follows.inc(follows)
+                for list_id, cursor in zip(list_ids, cursors):
+                    self._list_blocks_series(list_id).inc(cursor.blocks_read())
+            if span is not None:
+                span.note(
+                    matches=len(doc_ids),
+                    seeks=seeks,
+                    blocks_read=blocks,
+                    jump_follows=follows,
+                )
+        return doc_ids, blocks
 
     def _result_term_freqs(
         self, doc_id: int, terms: Sequence[str]
@@ -628,7 +887,9 @@ class TrustworthySearchEngine:
             self.documents, now=self._clock if now is None else now
         )
 
-    def search_with_incident_handling(self, query, *, top_k: int = 10):
+    def search_with_incident_handling(
+        self, query, *, top_k: int = 10, trace=None
+    ):
         """Search, verify, and *handle* any detected stuffing.
 
         Returns ``(results, report)``: results are verified against the
@@ -645,11 +906,17 @@ class TrustworthySearchEngine:
             query,
             top_k=top_k + len(self.incidents.quarantined_doc_ids),
             verify=False,
+            trace=trace,
         )
         candidates = [
             r for r in raw if not self.incidents.is_quarantined(r.doc_id)
         ]
-        report = self.verify_results([r.doc_id for r in candidates], query.terms)
+        with self._stage("verify", trace, results=len(candidates)) as span:
+            report = self.verify_results(
+                [r.doc_id for r in candidates], query.terms
+            )
+            if span is not None:
+                span.note(ok=report.ok)
         if not report.ok:
             retention = self._retention_if_any()
 

@@ -45,6 +45,8 @@ class MergedListCursor:
         self.jump_index = jump_index
         self._cursor = posting_list.cursor(term_code=term_code)
         self._length_hint = length_hint
+        #: Seek operations performed (the paper's FindGeq count).
+        self.seeks = 0
 
     def doc(self) -> Optional[int]:
         """Current document ID (``None`` when exhausted)."""
@@ -56,6 +58,7 @@ class MergedListCursor:
         """Advance to the first matching posting with ID >= ``k``."""
         if self._cursor.exhausted:
             return None
+        self.seeks += 1
         if self.jump_index is not None:
             self.jump_index.find_geq(self._cursor, k)
         else:
@@ -80,6 +83,8 @@ class TreeCursor:
         self.tree = tree
         self._visited: set = set()
         self._current: Optional[int] = tree.find_geq(0, visited=self._visited)
+        #: Seek operations performed (the paper's FindGeq count).
+        self.seeks = 0
 
     def doc(self) -> Optional[int]:
         """Current document ID (``None`` when exhausted)."""
@@ -89,6 +94,7 @@ class TreeCursor:
         """Advance to the first key >= ``k``."""
         if self._current is not None and self._current >= k:
             return self._current
+        self.seeks += 1
         self._current = self.tree.find_geq(k, visited=self._visited)
         return self._current
 
@@ -111,6 +117,8 @@ class MemoryCursor:
     def __init__(self, doc_ids: Sequence[int]):
         self._ids = list(doc_ids)
         self._pos = 0
+        #: Seek operations performed (kept for cursor-interface parity).
+        self.seeks = 0
 
     def doc(self) -> Optional[int]:
         """Current document ID (``None`` when exhausted)."""
@@ -120,6 +128,7 @@ class MemoryCursor:
 
     def seek_geq(self, k: int) -> Optional[int]:
         """Advance to the first ID >= ``k`` by binary search (in memory)."""
+        self.seeks += 1
         self._pos = bisect_left(self._ids, k, lo=self._pos)
         return self.doc()
 
@@ -199,6 +208,8 @@ class RawMergedCursor:
         self.jump_index = jump_index
         self.wanted_codes = set(int(c) & MAX_TERM_ID_WITH_TF for c in wanted_codes)
         self._cursor = posting_list.cursor()
+        #: Seek operations performed (the paper's FindGeq count).
+        self.seeks = 0
 
     def doc(self) -> Optional[int]:
         """Current document ID (``None`` when exhausted)."""
@@ -210,6 +221,7 @@ class RawMergedCursor:
         """Advance to the first posting (any term) with ID >= ``k``."""
         if self._cursor.exhausted:
             return None
+        self.seeks += 1
         if self.jump_index is not None:
             self.jump_index.find_geq(self._cursor, k)
         else:

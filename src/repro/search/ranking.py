@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Tuple
 
 
 class CollectionStats:
@@ -27,6 +27,10 @@ class CollectionStats:
         #: Length (total retained tokens) of each document.
         self.doc_lengths: Dict[int, int] = {}
         self.total_length = 0
+        #: Term IDs previously folded in per document, so re-adding a
+        #: known document replaces its contributions instead of double
+        #: counting them.
+        self._doc_terms: Dict[int, Tuple[int, ...]] = {}
 
     @property
     def num_docs(self) -> int:
@@ -41,10 +45,27 @@ class CollectionStats:
         return max(1.0, self.total_length / len(self.doc_lengths))
 
     def add_document(self, doc_id: int, term_counts: Mapping[int, int]) -> None:
-        """Fold one document's term counts into the statistics."""
+        """Fold one document's term counts into the statistics.
+
+        Idempotent per ``doc_id``: re-adding a document that was already
+        folded in (a restore path replaying overlap, a re-index) first
+        subtracts its previous length and document-frequency
+        contributions, so ``num_docs``, ``total_length``, and ``df``
+        reflect each document exactly once.
+        """
+        previous = self._doc_terms.get(doc_id)
+        if previous is not None:
+            self.total_length -= self.doc_lengths[doc_id]
+            for term in previous:
+                remaining = self.df[term] - 1
+                if remaining:
+                    self.df[term] = remaining
+                else:
+                    del self.df[term]
         length = sum(term_counts.values())
         self.doc_lengths[doc_id] = length
         self.total_length += length
+        self._doc_terms[doc_id] = tuple(term_counts)
         for term in term_counts:
             self.df[term] += 1
 

@@ -38,6 +38,9 @@ class BatchIngestor:
         Allocates global IDs and commits the WORM document map.
     batch_size:
         Auto-flush threshold for the buffered :meth:`add` path.
+    metrics:
+        Optional metrics registry (the sharded engine passes the shared
+        one); ``None`` leaves the ingestor unmetered.
     """
 
     def __init__(
@@ -46,6 +49,7 @@ class BatchIngestor:
         router: ShardRouter,
         *,
         batch_size: int = 64,
+        metrics=None,
     ):
         if batch_size <= 0:
             raise WorkloadError(f"batch_size must be positive, got {batch_size}")
@@ -53,6 +57,20 @@ class BatchIngestor:
         self.router = router
         self.batch_size = batch_size
         self._pending: List[Tuple[str, Optional[int]]] = []
+        self._metrics_on = metrics is not None and bool(metrics.enabled)
+        if self._metrics_on:
+            self._c_batches = metrics.counter(
+                "repro_ingest_batches_total",
+                "Document batches routed and ingested",
+            )
+            self._c_batch_docs = metrics.counter(
+                "repro_ingest_batch_documents_total",
+                "Documents ingested through the batch path",
+            )
+            self._g_pending = metrics.gauge(
+                "repro_ingest_pending_documents",
+                "Documents buffered but not yet flushed",
+            )
 
     # ------------------------------------------------------------------
     # immediate path
@@ -92,6 +110,9 @@ class BatchIngestor:
                         f"where the document map recorded {expected}; "
                         f"shard and map are out of step"
                     )
+        if self._metrics_on:
+            self._c_batches.inc()
+            self._c_batch_docs.inc(len(texts))
         return [assignment.global_id for assignment in assignments]
 
     # ------------------------------------------------------------------
@@ -107,6 +128,8 @@ class BatchIngestor:
         :meth:`flush`.
         """
         self._pending.append((text, commit_time))
+        if self._metrics_on:
+            self._g_pending.set(len(self._pending))
         if len(self._pending) >= self.batch_size:
             self.flush()
 
@@ -115,6 +138,8 @@ class BatchIngestor:
         if not self._pending:
             return []
         pending, self._pending = self._pending, []
+        if self._metrics_on:
+            self._g_pending.set(0)
         if next_commit_time is None:
             next_commit_time = (
                 max(

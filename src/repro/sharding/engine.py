@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.verification import AuditReport, audit_search_result
 from repro.errors import TamperDetectedError, WorkloadError
+from repro.observability.metrics import MetricsRegistry
 from repro.search.analyzer import Analyzer
 from repro.search.documents import Document
 from repro.search.engine import (
@@ -97,6 +98,13 @@ class ShardedSearchEngine:
         Query fan-out thread-pool width (default: one per shard).
     batch_size:
         Auto-flush threshold of the buffered ingest path.
+    metrics:
+        Metrics registry shared by every shard, the executor, and the
+        batch ingestor; each shard stamps its series with a
+        ``shard="<i>"`` label.  Defaults to a fresh
+        :class:`~repro.observability.metrics.MetricsRegistry`; pass a
+        :class:`~repro.observability.metrics.NullMetricsRegistry` to run
+        unmetered.
     """
 
     def __init__(
@@ -108,10 +116,12 @@ class ShardedSearchEngine:
         coordinator_store: Optional[CachedWormStore] = None,
         max_workers: Optional[int] = None,
         batch_size: int = 64,
+        metrics=None,
     ):
         if num_shards <= 0:
             raise WorkloadError(f"num_shards must be positive, got {num_shards}")
         self.config = config or EngineConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         if store_factory is None:
             def store_factory(_shard_id: int) -> CachedWormStore:
                 return CachedWormStore(
@@ -119,7 +129,12 @@ class ShardedSearchEngine:
                     block_size=self.config.block_size,
                 )
         self.shards: List[TrustworthySearchEngine] = [
-            TrustworthySearchEngine(self.config, store=store_factory(i))
+            TrustworthySearchEngine(
+                self.config,
+                store=store_factory(i),
+                metrics=self.metrics,
+                metrics_labels={"shard": i},
+            )
             for i in range(num_shards)
         ]
         self.coordinator = coordinator_store or CachedWormStore(
@@ -133,8 +148,14 @@ class ShardedSearchEngine:
             self.config,
             max_workers=max_workers,
             analyzer=self.analyzer,
+            metrics=self.metrics,
         )
-        self.ingestor = BatchIngestor(self.shards, self.router, batch_size=batch_size)
+        self.ingestor = BatchIngestor(
+            self.shards,
+            self.router,
+            batch_size=batch_size,
+            metrics=self.metrics,
+        )
         self.documents = _GlobalDocumentView(self.shards, self.router)
         self._clock = (
             max(
@@ -231,14 +252,25 @@ class ShardedSearchEngine:
         *,
         top_k: int = 10,
         verify: Optional[bool] = None,
+        trace=None,
     ) -> List[SearchResult]:
-        """Run a query across all shards; returns global ranked results."""
+        """Run a query across all shards; returns global ranked results.
+
+        Pass a :class:`~repro.observability.trace.QueryTrace` as
+        ``trace`` to record the fan-out: one span per shard (with the
+        queue/execution split), the heap merge, and verification.
+        """
         if isinstance(query, str):
             query = parse_query(query, analyzer=self.analyzer)
-        results = self.executor.search(query, top_k=top_k)
+        results = self.executor.search(query, top_k=top_k, trace=trace)
         should_verify = self.config.verify_results if verify is None else verify
         if should_verify:
+            if trace is not None:
+                verify_span = trace.begin("verify", results=len(results))
             report = self.verify_results([r.doc_id for r in results], query.terms)
+            if trace is not None:
+                verify_span.note(ok=report.ok)
+                trace.finish(verify_span)
             if not report.ok:
                 raise TamperDetectedError(
                     f"result verification failed: {report.violations}",
@@ -303,7 +335,9 @@ class ShardedSearchEngine:
             self._incidents = IncidentLog(self.coordinator, INCIDENT_FILE)
         return self._incidents
 
-    def search_with_incident_handling(self, query, *, top_k: int = 10):
+    def search_with_incident_handling(
+        self, query, *, top_k: int = 10, trace=None
+    ):
         """Search, verify, and quarantine any exposed stuffing globally.
 
         Mirrors the unsharded engine's Section-6 handling: fabricated
@@ -318,6 +352,7 @@ class ShardedSearchEngine:
             query,
             top_k=top_k + len(self.incidents.quarantined_doc_ids),
             verify=False,
+            trace=trace,
         )
         candidates = [r for r in raw if not self.incidents.is_quarantined(r.doc_id)]
         report = self.verify_results([r.doc_id for r in candidates], query.terms)

@@ -26,8 +26,10 @@ import heapq
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from itertools import islice
+from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.observability.metrics import MetricsRegistry
 from repro.search.analyzer import Analyzer
 from repro.search.engine import EngineConfig, SearchResult
 from repro.search.query import Query, parse_query
@@ -98,6 +100,10 @@ class ParallelQueryExecutor:
     analyzer:
         Query analyzer; defaults to a fresh :class:`Analyzer` matching
         the shard engines' defaults.
+    metrics:
+        Metrics registry; the sharded engine passes the registry its
+        shards share, so fan-out timings land next to per-shard engine
+        series.  Defaults to a fresh registry.
     """
 
     def __init__(
@@ -108,6 +114,7 @@ class ParallelQueryExecutor:
         *,
         max_workers: Optional[int] = None,
         analyzer: Optional[Analyzer] = None,
+        metrics=None,
     ):
         self.shards = list(shards)
         self.router = router
@@ -115,6 +122,28 @@ class ParallelQueryExecutor:
         self.analyzer = analyzer or Analyzer()
         self._max_workers = max_workers or max(1, len(self.shards))
         self._pool: Optional[ThreadPoolExecutor] = None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metrics_on = bool(self.metrics.enabled)
+        self._c_fanout = self.metrics.counter(
+            "repro_fanout_queries_total",
+            "Queries fanned out across shards by the executor",
+        )
+        queue_family = self.metrics.histogram(
+            "repro_shard_queue_seconds",
+            "Time a shard sub-query waited for a fan-out worker",
+            labels=("shard",),
+        )
+        run_family = self.metrics.histogram(
+            "repro_shard_run_seconds",
+            "Time a shard sub-query spent matching and scoring",
+            labels=("shard",),
+        )
+        self._queue_series = [
+            queue_family.labels(shard=i) for i in range(len(self.shards))
+        ]
+        self._run_series = [
+            run_family.labels(shard=i) for i in range(len(self.shards))
+        ]
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -138,16 +167,26 @@ class ParallelQueryExecutor:
     # ------------------------------------------------------------------
     # query path
     # ------------------------------------------------------------------
-    def search(self, query, *, top_k: int = 10) -> List[SearchResult]:
-        """Run ``query`` across all shards; returns global ranked results."""
+    def search(self, query, *, top_k: int = 10, trace=None) -> List[SearchResult]:
+        """Run ``query`` across all shards; returns global ranked results.
+
+        With a :class:`~repro.observability.trace.QueryTrace` attached,
+        each shard contributes a ``shard`` span (recorded from its worker
+        thread) whose ``queue_seconds`` attribute separates pool wait
+        from execution; the final heap merge gets a ``merge`` span.
+        """
         if isinstance(query, str):
             query = parse_query(query, analyzer=self.analyzer)
+        self._c_fanout.inc()
         aggregate = self.aggregate_term_stats(query.terms)
+        submitted = perf_counter()
         if len(self.shards) == 1:
-            runs = [self._shard_run(0, query, aggregate)]
+            runs = [self._timed_shard_run(0, query, aggregate, submitted, trace)]
         else:
             futures = [
-                self.pool.submit(self._shard_run, i, query, aggregate)
+                self.pool.submit(
+                    self._timed_shard_run, i, query, aggregate, submitted, trace
+                )
                 for i in range(len(self.shards))
             ]
             runs = []
@@ -169,8 +208,18 @@ class ParallelQueryExecutor:
                 if hasattr(exc, "add_note"):  # Python 3.11+
                     exc.add_note(f"raised by shard {shard_index} during query fan-out")
                 raise
+        merge_start = perf_counter()
         merged = heapq.merge(*runs, key=_merge_key)
-        return list(islice(merged, top_k))
+        results = list(islice(merged, top_k))
+        if trace is not None:
+            trace.record(
+                "merge",
+                start=merge_start,
+                end=perf_counter(),
+                runs=len(runs),
+                results=len(results),
+            )
+        return results
 
     def aggregate_term_stats(
         self, terms: Sequence[str]
@@ -203,6 +252,32 @@ class ParallelQueryExecutor:
         if self.config.ranking == "bm25":
             return BM25Scorer(stats)
         return CosineScorer(stats)
+
+    def _timed_shard_run(
+        self,
+        shard_index: int,
+        query: Query,
+        aggregate: AggregatedTermStats,
+        submitted: float,
+        trace,
+    ) -> List[SearchResult]:
+        """Run one shard sub-query, splitting pool-queue wait from execution."""
+        run_start = perf_counter()
+        result = self._shard_run(shard_index, query, aggregate)
+        run_end = perf_counter()
+        if self._metrics_on:
+            self._queue_series[shard_index].observe(run_start - submitted)
+            self._run_series[shard_index].observe(run_end - run_start)
+        if trace is not None:
+            trace.record(
+                "shard",
+                start=run_start,
+                end=run_end,
+                shard=shard_index,
+                queue_seconds=run_start - submitted,
+                results=len(result),
+            )
+        return result
 
     def _shard_run(
         self,

@@ -20,7 +20,7 @@ the content is stable, the interest moves).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -98,8 +98,8 @@ class EpochWorkload:
 class DriftingWorkload:
     """Generator of per-epoch query workloads with rotating popularity."""
 
-    def __init__(self, config: DriftConfig = DriftConfig()):
-        self.config = config
+    def __init__(self, config: Optional[DriftConfig] = None):
+        self.config = config = config if config is not None else DriftConfig()
         self._base = zipf_weights(config.vocabulary_size, config.zipf_s)
 
     def epoch_popularity(self, epoch_no: int) -> np.ndarray:

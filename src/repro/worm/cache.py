@@ -47,6 +47,17 @@ class CacheStats:
         """Fraction of accesses that hit; 0.0 when no accesses occurred."""
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def as_dict(self) -> dict:
+        """Counters (and derived rates) as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "full_flushes": self.full_flushes,
+            "accesses": self.accesses,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class LRUBlockCache:
     """Least-recently-used cache of block slots with I/O accounting.

@@ -68,5 +68,13 @@ class IoStats:
             self.block_writes - snap.block_writes,
         )
 
+    def as_dict(self) -> dict:
+        """Counters as a plain dict (metrics-adapter convenience)."""
+        return {
+            "block_reads": self.block_reads,
+            "block_writes": self.block_writes,
+            "total": self.total,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IoStats(reads={self.block_reads}, writes={self.block_writes})"

@@ -374,6 +374,21 @@ class JournaledWormDevice(WormDevice):
         """Whether :meth:`close` has been called."""
         return self._closed
 
+    @property
+    def records(self) -> int:
+        """Journal records committed so far (the WAL sequence number)."""
+        return self._sequence
+
+    @property
+    def journal_bytes(self) -> int:
+        """Committed journal size in bytes (magic header included)."""
+        return self._journal_size
+
+    @property
+    def pending_records(self) -> int:
+        """Records in the open group-commit batch, not yet fsynced."""
+        return self._pending_records
+
     def sync(self) -> None:
         """Durability barrier: flush and fsync the journal now.
 

@@ -1,0 +1,157 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+import json
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestCounterAndGauge:
+    def test_label_free_counter_proxies_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "a counter")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot()["c_total"]["series"][0]["value"] == 5
+
+    def test_labelled_counter_keeps_series_apart(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labels=("shard",))
+        family.labels(shard="0").inc(2)
+        family.labels(shard="1").inc(3)
+        series = registry.snapshot()["c_total"]["series"]
+        assert [(s["labels"]["shard"], s["value"]) for s in series] == [
+            ("0", 2),
+            ("1", 3),
+        ]
+
+    def test_bound_series_is_stable_identity(self):
+        family = MetricsRegistry().counter("c_total", labels=("shard",))
+        assert family.labels(shard=0) is family.labels(shard="0")
+
+    def test_gauge_goes_down(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(-4)
+        assert registry.snapshot()["g"]["series"][0]["value"] == 6
+
+    def test_missing_label_rejected(self):
+        family = MetricsRegistry().counter("c_total", labels=("shard",))
+        with pytest.raises(MetricsError):
+            family.labels(mode="any")
+
+    def test_extra_label_rejected(self):
+        family = MetricsRegistry().counter("c_total", labels=("shard",))
+        with pytest.raises(MetricsError):
+            family.labels(shard="0", mode="any")
+
+    def test_label_free_access_on_labelled_family_rejected(self):
+        family = MetricsRegistry().counter("c_total", labels=("shard",))
+        with pytest.raises(MetricsError):
+            family.inc()
+
+
+class TestRegistration:
+    def test_reregistration_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", labels=("shard",))
+        b = registry.counter("x_total", labels=("shard",))
+        assert a is b
+
+    def test_conflicting_kind_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(MetricsError):
+            registry.gauge("x_total")
+
+    def test_conflicting_label_schema_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("shard",))
+        with pytest.raises(MetricsError):
+            registry.counter("x_total", labels=("mode",))
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        entry = registry.snapshot()["h_seconds"]["series"][0]
+        assert entry["count"] == 5
+        assert entry["sum"] == pytest.approx(5.605)
+        assert entry["buckets"] == {
+            "0.01": 1,
+            "0.1": 3,
+            "1": 4,
+            "+Inf": 5,
+        }
+
+    def test_boundary_value_counts_as_le(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.1, 1.0))
+        hist.observe(0.1)
+        buckets = registry.snapshot()["h"]["series"][0]["buckets"]
+        assert buckets["0.1"] == 1
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestExposition:
+    def test_snapshot_is_json_stable(self):
+        def build():
+            registry = MetricsRegistry()
+            family = registry.counter("c_total", "help", labels=("shard",))
+            family.labels(shard="1").inc(3)
+            family.labels(shard="0").inc(2)
+            registry.histogram("h_seconds", buckets=(0.1,)).observe(0.05)
+            return json.dumps(registry.snapshot(), sort_keys=True)
+
+        assert build() == build()
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "things counted", labels=("shard",)).labels(
+            shard="0"
+        ).inc(7)
+        registry.histogram("h_seconds", "a histogram", buckets=(0.5,)).observe(
+            0.25
+        )
+        text = registry.render_prometheus()
+        assert "# HELP c_total things counted" in text
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{shard="0"} 7' in text
+        assert 'h_seconds_bucket{le="0.5"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_sum 0.25" in text
+        assert "h_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels=("term",)).labels(
+            term='a"b\\c\nd'
+        ).inc()
+        text = registry.render_prometheus()
+        assert 'term="a\\"b\\\\c\\nd"' in text
+
+
+class TestNullRegistry:
+    def test_absorbs_everything_and_snapshots_empty(self):
+        registry = NullMetricsRegistry()
+        assert registry.enabled is False
+        counter = registry.counter("c_total", labels=("shard",))
+        counter.labels(shard="0").inc(5)
+        registry.histogram("h").observe(1.0)
+        registry.gauge("g").set(3)
+        assert registry.snapshot() == {}
+        assert registry.render_prometheus() == ""
+        assert registry.families() == []

@@ -1,0 +1,111 @@
+"""Unit tests for the per-query span recorder."""
+
+import threading
+from time import perf_counter
+
+from repro.observability.trace import QueryTrace
+
+
+class TestSpanNesting:
+    def test_context_manager_nests_spans(self):
+        trace = QueryTrace("q")
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        outer, inner = trace.spans
+        assert outer.parent is None
+        assert inner.parent == outer.index
+        assert inner.end is not None and outer.end is not None
+        assert outer.seconds >= inner.seconds
+
+    def test_sibling_spans_share_parent(self):
+        trace = QueryTrace("q")
+        with trace.span("root"):
+            with trace.span("a"):
+                pass
+            with trace.span("b"):
+                pass
+        root, a, b = trace.spans
+        assert a.parent == root.index == b.parent
+
+    def test_note_attaches_attributes(self):
+        trace = QueryTrace("q")
+        with trace.span("join", terms=2) as span:
+            span.note(seeks=17, blocks_read=4)
+        assert trace.spans[0].attrs == {
+            "terms": 2,
+            "seeks": 17,
+            "blocks_read": 4,
+        }
+
+    def test_out_of_order_finish_keeps_stack_consistent(self):
+        trace = QueryTrace("q")
+        outer = trace.begin("outer")
+        inner = trace.begin("inner")
+        trace.finish(outer)  # closed before its child
+        trace.finish(inner)
+        with trace.span("next"):
+            pass
+        assert trace.spans[2].parent is None
+
+
+class TestRecord:
+    def test_record_converts_perf_counter_times(self):
+        trace = QueryTrace("q")
+        start = perf_counter()
+        end = start + 0.25
+        span = trace.record("shard", start=start, end=end, shard=1)
+        assert span.seconds == 0.25
+        assert span.attrs == {"shard": 1}
+        assert span.parent is None
+
+    def test_record_is_thread_safe(self):
+        trace = QueryTrace("q")
+
+        def worker(i):
+            now = perf_counter()
+            for j in range(50):
+                trace.record("shard", start=now, end=now, shard=i, step=j)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trace.spans) == 200
+        assert [s.index for s in trace.spans] == list(range(200))
+
+
+class TestExposition:
+    def test_to_dict_is_stable_and_sorted(self):
+        trace = QueryTrace("alpha beta")
+        with trace.span("join", zeta=1, alpha=2):
+            pass
+        doc = trace.to_dict()
+        assert doc["query"] == "alpha beta"
+        (span_doc,) = doc["spans"]
+        assert list(span_doc["attrs"]) == ["alpha", "zeta"]
+        assert span_doc["seconds"] >= 0
+
+    def test_pretty_renders_tree(self):
+        trace = QueryTrace("q")
+        with trace.span("parse"):
+            pass
+        with trace.span("join", seeks=3):
+            with trace.span("zigzag"):
+                pass
+        text = trace.pretty()
+        assert "parse" in text and "zigzag" in text
+        assert "seeks=3" in text
+        # The child is indented one level deeper than its parent.
+        def indent(s):
+            return len(s) - len(s.lstrip())
+
+        join_line = next(ln for ln in text.splitlines() if "join" in ln)
+        zig_line = next(ln for ln in text.splitlines() if "zigzag" in ln)
+        assert indent(zig_line) > indent(join_line)
+
+    def test_empty_trace_total_is_zero(self):
+        assert QueryTrace("q").total_seconds == 0.0
