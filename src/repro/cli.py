@@ -8,6 +8,8 @@ Usage (also available as ``python -m repro``)::
     repro-search index   --archive records.worm file1.txt ... [--batch-size N]
     repro-search search  --archive records.worm "stewart waksal" [--top-k K]
                          [--verify] [--workers W] [--trace]
+                         [--read-cache] [--cache-policy lru|2q|slru]
+                         [--cache-mb MB] [--repeat N]
                          [--metrics-json out.json]
     repro-search audit   --archive records.worm
     repro-search stats   --archive records.worm
@@ -36,6 +38,7 @@ import argparse
 import json
 import os
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.errors import ReproError, TamperDetectedError
@@ -106,6 +109,9 @@ def open_archive(
     batch_size: int = 64,
     fsync: bool = False,
     group_commit: int = 1,
+    read_cache: bool = False,
+    cache_policy: str = "lru",
+    cache_mb: float = 8.0,
 ):
     """Open (or with ``create``, initialize) an archive at ``path``.
 
@@ -113,7 +119,10 @@ def open_archive(
     ``shards`` only applies at ``create`` time — reopening reads the
     shard count from the committed configuration.  ``fsync`` /
     ``group_commit`` are per-session durability knobs applied to every
-    journal the archive opens (coordinator and shards alike).
+    journal the archive opens (coordinator and shards alike);
+    ``read_cache`` / ``cache_policy`` / ``cache_mb`` likewise enable the
+    session-scoped read-path cache (per shard on a sharded archive) —
+    none of these is persisted, because none shapes committed state.
     """
     device = JournaledWormDevice(path, fsync=fsync, group_commit=group_commit)
     store = CachedWormStore(None, device=device)
@@ -128,6 +137,13 @@ def open_archive(
                 f"'{path}' is not an initialized archive (run 'init' first)"
             )
         config, shards = _read_config(store)
+    if read_cache:
+        config = replace(
+            config,
+            read_cache=True,
+            cache_policy=cache_policy,
+            read_cache_mb=cache_mb,
+        )
     if shards <= 1:
         engine = TrustworthySearchEngine(config, store=store)
         return engine, device
@@ -202,8 +218,12 @@ def _cmd_index(args) -> int:
     try:
         texts: List[str] = list(args.text or [])
         for file_name in args.files:
-            with open(file_name, "r", encoding="utf-8") as handle:
-                texts.append(handle.read())
+            try:
+                with open(file_name, "r", encoding="utf-8") as handle:
+                    texts.append(handle.read())
+            except OSError as exc:
+                print(f"cannot read '{file_name}': {exc}", file=sys.stderr)
+                return 2
         if not texts:
             print("nothing to index: pass --text or file paths", file=sys.stderr)
             return 2
@@ -230,28 +250,45 @@ def _cmd_index(args) -> int:
 
 
 def _cmd_search(args) -> int:
-    engine, archive = open_archive(args.archive, workers=args.workers)
+    if args.cache_mb <= 0:
+        print(f"--cache-mb must be positive (got {args.cache_mb})", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print(f"--repeat must be >= 1 (got {args.repeat})", file=sys.stderr)
+        return 2
+    engine, archive = open_archive(
+        args.archive,
+        workers=args.workers,
+        read_cache=args.read_cache,
+        cache_policy=args.cache_policy,
+        cache_mb=args.cache_mb,
+    )
+    want_trace = args.trace or args.metrics_json
     trace = None
-    if args.trace or args.metrics_json:
-        from repro.observability import QueryTrace
-
-        trace = QueryTrace(args.query)
     try:
         try:
-            if args.verify:
-                results, report = engine.search_with_incident_handling(
-                    args.query, top_k=args.top_k, trace=trace
-                )
-                if not report.ok:
-                    print(
-                        f"WARNING: tampering detected and handled "
-                        f"({len(report.violations)} violations logged)",
-                        file=sys.stderr,
+            # --repeat re-runs the query in one session; with
+            # --read-cache the later runs hit the result cache, which is
+            # what the printed (last-run) trace demonstrates.
+            for _ in range(args.repeat):
+                if want_trace:
+                    from repro.observability import QueryTrace
+
+                    trace = QueryTrace(args.query)
+                if args.verify:
+                    results, report = engine.search_with_incident_handling(
+                        args.query, top_k=args.top_k, trace=trace
                     )
-            else:
-                results = engine.search(
-                    args.query, top_k=args.top_k, trace=trace
-                )
+                    if not report.ok:
+                        print(
+                            f"WARNING: tampering detected and handled "
+                            f"({len(report.violations)} violations logged)",
+                            file=sys.stderr,
+                        )
+                else:
+                    results = engine.search(
+                        args.query, top_k=args.top_k, trace=trace
+                    )
         except TamperDetectedError as exc:
             print(f"TAMPERING DETECTED: {exc}", file=sys.stderr)
             return 3
@@ -351,10 +388,16 @@ def _cmd_profile(args) -> int:
     try:
         queries: List[str] = list(args.query or [])
         if args.query_file:
-            with open(args.query_file, "r", encoding="utf-8") as handle:
-                queries.extend(
-                    line.strip() for line in handle if line.strip()
+            try:
+                with open(args.query_file, "r", encoding="utf-8") as handle:
+                    queries.extend(
+                        line.strip() for line in handle if line.strip()
+                    )
+            except OSError as exc:
+                print(
+                    f"cannot read '{args.query_file}': {exc}", file=sys.stderr
                 )
+                return 2
         if not queries:
             print("nothing to profile: pass queries or --query-file", file=sys.stderr)
             return 2
@@ -490,6 +533,24 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--trace", action="store_true",
         help="print the per-stage query trace (spans with micro-costs)",
+    )
+    search.add_argument(
+        "--read-cache", action="store_true",
+        help="enable the session-scoped read-path cache (decoded blocks, "
+        "query results, jump-pointer memo)",
+    )
+    search.add_argument(
+        "--cache-policy", choices=["lru", "2q", "slru"], default="lru",
+        help="read-cache eviction policy (default: lru)",
+    )
+    search.add_argument(
+        "--cache-mb", type=float, default=8.0,
+        help="read-cache decoded-block budget in MB (default: 8)",
+    )
+    search.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the query N times in one session (with --read-cache the "
+        "later runs are served from the result cache)",
     )
     search.add_argument(
         "--metrics-json", default=None, metavar="PATH",

@@ -103,6 +103,12 @@ class BlockJumpIndex:
                 f"{self.num_slots}"
             )
         self.track_tail_path = track_tail_path
+        #: Optional :class:`~repro.search.readcache.JumpMemo` set by the
+        #: engine when read caching is enabled.  Memoizes frozen-block
+        #: maxima and already-certified pointer edges; both are immutable
+        #: under WORM semantics, so navigation stays exact (see the
+        #: readcache module docstring for the trust argument).
+        self.memo = None
         self._path: List[_PathNode] = []
         if posting_list.num_blocks:
             self.rebuild_path()
@@ -390,8 +396,14 @@ class BlockJumpIndex:
         fall back to the first later non-NULL pointer at this block.
         """
         block_no = start_block
-        entries = cursor.peek_block(block_no)
-        nb = entries[-1].doc_id
+        memo = self.memo
+        nb = memo.nb(block_no) if memo is not None else None
+        if nb is None:
+            nb = cursor.peek_block(block_no)[-1].doc_id
+            if memo is not None and block_no < self.posting_list.num_blocks - 1:
+                # Only frozen (non-tail) blocks are memoized; the tail's
+                # largest ID still grows with appends.
+                memo.put_nb(block_no, nb)
         if k <= nb:
             return block_no
         slot = self.slot_for(nb, k)
@@ -422,8 +434,19 @@ class BlockJumpIndex:
         slot: int,
         target: int,
     ) -> None:
-        """Certified-reader checks on a followed pointer (tamper tripwire)."""
+        """Certified-reader checks on a followed pointer (tamper tripwire).
+
+        With a jump memo attached, an edge that already passed the full
+        checks this process lifetime is not re-verified: the slot is
+        write-once, the source block is frozen, and the target's entries
+        only grow, so every certified fact stays true.  Fresh (never
+        followed) edges — including anything an attacker plants after
+        startup — always run the complete tripwire.
+        """
         self.pointers_followed += 1
+        memo = self.memo
+        if memo is not None and memo.edge_verified(block_no, slot, target):
+            return
         if target <= block_no:
             raise TamperDetectedError(
                 f"jump pointer from block {block_no} goes backwards to "
@@ -442,6 +465,8 @@ class BlockJumpIndex:
                 f"block {block_no}, slot {slot}",
                 invariant="jump-target-range",
             )
+        if memo is not None:
+            memo.record_edge(block_no, slot, target)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

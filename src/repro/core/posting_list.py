@@ -72,6 +72,10 @@ class PostingList:
         self.store = store
         self.name = name
         self.entries_per_block = entries_per_block
+        #: Optional shared decoded-block cache (query read path only).
+        #: Set by the engine when read caching is enabled; audits and
+        #: restart recovery never consult it.
+        self.read_cache = None
         self._file = store.ensure_file(name, slot_count=slot_count)
         #: Total committed postings.
         self.count = 0
@@ -161,6 +165,10 @@ class PostingList:
         self._block_max[block_no] = doc_id
         self.count += 1
         self.last_doc_id = doc_id
+        if self.read_cache is not None:
+            # The tail block's decoded contents just changed; frozen
+            # blocks are untouched, so this is the only key to drop.
+            self.read_cache.invalidate(self.name, block_no)
         return block_no, index
 
     def append_many(
@@ -187,6 +195,8 @@ class PostingList:
 
         ``counted=True`` routes the access through the storage cache so it
         contributes to I/O statistics; auditors pass ``counted=False``.
+        This path never consults the read cache — use
+        :meth:`load_block_postings` on the query path.
         """
         if counted:
             payload = self.store.read_block(self.name, block_no)
@@ -194,14 +204,41 @@ class PostingList:
             payload = self.store.peek_block(self.name, block_no)
         return decode_postings(payload)
 
+    def load_block_postings(self, block_no: int) -> Tuple[List[Posting], bool]:
+        """Query-path block load; returns ``(entries, served_from_cache)``.
+
+        When a read cache is attached, frozen decoded blocks are served
+        from memory (the tail block is cached too, but every append
+        invalidates it, so stale data can never be returned).  The
+        returned list must be treated as read-only.  Without a cache this
+        is exactly an uncounted :meth:`read_block_postings`.
+        """
+        cache = self.read_cache
+        if cache is not None:
+            entries = cache.get(self.name, block_no)
+            if entries is not None:
+                return entries, True
+        entries = self.read_block_postings(block_no, counted=False)
+        if cache is not None:
+            cache.put(self.name, block_no, entries)
+        return entries, False
+
     def cursor(self, *, term_code: Optional[int] = None) -> "PostingCursor":
         """A forward cursor over the list, optionally term-filtered."""
         return PostingCursor(self, term_code=term_code)
 
-    def scan(self, *, counted: bool = True) -> Iterator[Posting]:
-        """Yield every posting in order (one counted read per block)."""
+    def scan(self, *, counted: bool = True, cached: bool = False) -> Iterator[Posting]:
+        """Yield every posting in order (one counted read per block).
+
+        ``cached=True`` serves blocks through the attached read cache
+        (query path); audits keep the default and always hit the device.
+        """
         for block_no in range(self.num_blocks):
-            yield from self.read_block_postings(block_no, counted=counted)
+            if cached:
+                entries, _ = self.load_block_postings(block_no)
+                yield from entries
+            else:
+                yield from self.read_block_postings(block_no, counted=counted)
 
     def doc_ids(self, *, counted: bool = False) -> List[int]:
         """All document IDs in order (convenience for tests and audits)."""
@@ -259,6 +296,9 @@ class PostingCursor:
         self.term_code = term_code
         #: Distinct block numbers loaded by this cursor.
         self.blocks_read: Set[int] = set()
+        #: Block loads served by the list's shared read cache (0 when the
+        #: engine runs cache-off).
+        self.cache_hits = 0
         # Decoded blocks already paid for during this cursor's lifetime —
         # the query processor's in-memory block cache.
         self._decoded: dict = {}
@@ -356,9 +396,11 @@ class PostingCursor:
         """
         entries = self._decoded.get(block_no)
         if entries is None:
-            entries = self.posting_list.read_block_postings(block_no, counted=False)
+            entries, from_cache = self.posting_list.load_block_postings(block_no)
             self._decoded[block_no] = entries
             self.blocks_read.add(block_no)
+            if from_cache:
+                self.cache_hits += 1
         return entries
 
     def block_entries(self) -> List[Posting]:

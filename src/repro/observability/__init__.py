@@ -12,6 +12,7 @@ from repro.observability.adapters import (
     export_archive,
     export_faults,
     export_journal,
+    export_read_cache,
     export_store,
     metrics_document,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "export_archive",
     "export_faults",
     "export_journal",
+    "export_read_cache",
     "export_store",
     "metrics_document",
 ]

@@ -122,6 +122,45 @@ def export_faults(registry, device, *, shard: str = "0") -> None:
     ).labels(shard=shard).set(1 if getattr(plan, "crashed", False) else 0)
 
 
+def export_read_cache(registry, read_cache, *, shard: str = "0") -> None:
+    """Export a read-path cache's per-tier counters (no-op when off).
+
+    ``read_cache`` is an engine's
+    :class:`~repro.search.readcache.ReadCache` (or ``None`` when read
+    caching is disabled); duck-typed through ``as_dict()`` so this
+    module keeps importing no engine code.  Emits one series per tier
+    (``tier="blocks" | "results" | "jump_memo"``) for hits, misses,
+    evictions, and invalidations, plus block-tier residency gauges.
+    """
+    if not registry.enabled or read_cache is None:
+        return
+    shard = str(shard)
+    tiers = read_cache.as_dict()
+    for counter_key, help_text in (
+        ("hits", "Read-cache hits"),
+        ("misses", "Read-cache misses"),
+        ("evictions", "Read-cache evictions"),
+        ("invalidations", "Read-cache invalidations (append-driven)"),
+    ):
+        family = registry.counter(
+            f"repro_readcache_{counter_key}_total",
+            f"{help_text}, per tier",
+            labels=("shard", "tier"),
+        )
+        for tier in ("blocks", "results", "jump_memo"):
+            family.labels(shard=shard, tier=tier).set(tiers[tier][counter_key])
+    registry.gauge(
+        "repro_readcache_resident_blocks",
+        "Decoded posting blocks resident in the read cache",
+        labels=("shard",),
+    ).labels(shard=shard).set(tiers["blocks"]["resident"])
+    registry.gauge(
+        "repro_readcache_resident_bytes",
+        "Approximate bytes held by the decoded-block tier",
+        labels=("shard",),
+    ).labels(shard=shard).set(tiers["blocks"]["resident_bytes"])
+
+
 def export_archive(registry, archive_stats: Dict[str, object]) -> None:
     """Export the numeric fields of ``archive_stats()`` as gauges."""
     if not registry.enabled:
@@ -150,9 +189,15 @@ def engine_metrics(engine):
     if shards is not None:
         for index, shard in enumerate(shards):
             export_store(registry, shard.store, shard=index)
+            export_read_cache(
+                registry, getattr(shard, "read_cache", None), shard=index
+            )
         export_store(registry, engine.coordinator, shard=COORDINATOR)
     else:
         export_store(registry, engine.store, shard="0")
+        export_read_cache(
+            registry, getattr(engine, "read_cache", None), shard="0"
+        )
     export_archive(registry, engine.archive_stats())
     return registry
 

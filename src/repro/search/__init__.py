@@ -38,22 +38,32 @@ from repro.search.join import (
 )
 from repro.search.query import Query, QueryMode, parse_query
 from repro.search.ranking import BM25Scorer, CosineScorer, CollectionStats
+from repro.search.readcache import (
+    DecodedBlockCache,
+    JumpMemo,
+    QueryResultCache,
+    ReadCache,
+)
 
 __all__ = [
     "Analyzer",
     "BM25Scorer",
     "CollectionStats",
     "CosineScorer",
+    "DecodedBlockCache",
     "Document",
     "DocumentStore",
     "EngineConfig",
     "EpochPolicy",
     "EpochedSearchEngine",
+    "JumpMemo",
     "MemoryCursor",
     "MergedListCursor",
     "Query",
     "QueryMode",
     "QueryProfile",
+    "QueryResultCache",
+    "ReadCache",
     "SearchResult",
     "ShardedQueryProfile",
     "TreeCursor",

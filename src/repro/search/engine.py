@@ -44,6 +44,8 @@ from repro.search.documents import DocumentStore
 from repro.search.join import MergedListCursor, conjunctive_join
 from repro.search.query import QueryMode, parse_query
 from repro.search.ranking import BM25Scorer, CollectionStats, CosineScorer
+from repro.search.readcache import ReadCache
+from repro.worm.cache import READ_CACHE_POLICIES
 from repro.worm.storage import CachedWormStore
 
 
@@ -96,6 +98,18 @@ class EngineConfig:
         Cross-check every result against the stored documents before
         returning (the Section 5 stuffing countermeasure).  Costs one
         document read per result.
+    read_cache:
+        Enable the three-tier read-path cache
+        (:mod:`repro.search.readcache`): decoded posting blocks, query
+        results (length-fingerprint invalidated), and a jump-pointer
+        memo.  Session-scoped acceleration only — it never shapes
+        committed WORM state, so archives created with and without it
+        are byte-identical.
+    cache_policy:
+        Eviction policy for the read cache: ``"lru"``, ``"2q"``, or
+        ``"slru"`` (see :mod:`repro.worm.cache`).
+    read_cache_mb:
+        Approximate in-memory budget of the decoded-block tier, in MB.
     """
 
     num_lists: int = 1024
@@ -106,12 +120,24 @@ class EngineConfig:
     verify_results: bool = False
     #: Term-immutability horizon in commit-time units (None = forever).
     retention_period: Optional[int] = None
+    read_cache: bool = False
+    cache_policy: str = "lru"
+    read_cache_mb: float = 8.0
 
     def __post_init__(self) -> None:
         if self.num_lists <= 0:
             raise WorkloadError(f"num_lists must be positive, got {self.num_lists}")
         if self.ranking not in ("bm25", "cosine"):
             raise WorkloadError(f"unknown ranking '{self.ranking}'")
+        if self.cache_policy not in READ_CACHE_POLICIES:
+            raise WorkloadError(
+                f"unknown cache policy '{self.cache_policy}'; choose from "
+                f"{sorted(READ_CACHE_POLICIES)}"
+            )
+        if self.read_cache_mb <= 0:
+            raise WorkloadError(
+                f"read_cache_mb must be positive, got {self.read_cache_mb}"
+            )
 
 
 @dataclass(frozen=True)
@@ -161,6 +187,16 @@ class TrustworthySearchEngine:
         self.config = config or EngineConfig()
         self.store = store or CachedWormStore(
             self.config.cache_blocks, block_size=self.config.block_size
+        )
+        #: Session-scoped read-path cache (None when disabled).  Never
+        #: persisted: a restarted engine starts cold and re-verifies.
+        self.read_cache = (
+            ReadCache(
+                policy=self.config.cache_policy,
+                capacity_mb=self.config.read_cache_mb,
+            )
+            if self.config.read_cache
+            else None
         )
         self._init_metrics(metrics, metrics_labels)
         self.analyzer = Analyzer()
@@ -409,8 +445,14 @@ class TrustworthySearchEngine:
                 )
                 posting_list = jump.posting_list
                 self._jumps[list_id] = jump
+                if self.read_cache is not None:
+                    jump.memo = self.read_cache.memo_for(name)
             else:
                 posting_list = PostingList(self.store, name)
+            if self.read_cache is not None:
+                # Attached after construction, so restart recovery
+                # (inside PostingList.__init__) always read the device.
+                posting_list.read_cache = self.read_cache.blocks
             self._lists[list_id] = posting_list
         return posting_list, self._jumps.get(list_id)
 
@@ -654,9 +696,29 @@ class TrustworthySearchEngine:
 
         Returns a mapping of ``doc_id -> {term_id: tf}`` where term IDs
         are engine-local (translate via :meth:`term_text`).
+
+        With the read cache enabled, the whole retrieval phase is served
+        from the query-result tier when the per-term list-length
+        fingerprint proves nothing it depends on has changed (see
+        :class:`~repro.search.readcache.QueryResultCache`).  Ranking and
+        result verification always re-run on top of cached candidates.
         """
         if isinstance(query, str):
             query = parse_query(query, analyzer=self.analyzer)
+        cache = self.read_cache
+        cache_key = fingerprint = None
+        if cache is not None:
+            cache_key = self._query_cache_key(query)
+            fingerprint = self._query_fingerprint(query)
+            with self._stage("cache", trace) as span:
+                cached = cache.results.get(cache_key, fingerprint)
+                if span is not None:
+                    span.note(
+                        hit=cached is not None, policy=cache.policy_name
+                    )
+            if cached is not None:
+                # Defensive copy: callers may mutate the mapping.
+                return {d: dict(tf) for d, tf in cached.items()}
         if query.mode is QueryMode.ALL:
             doc_ids, _ = self.conjunctive_doc_ids(query.terms, trace=trace)
             candidates = {
@@ -687,7 +749,48 @@ class TrustworthySearchEngine:
                     }
                 if span is not None:
                     span.note(kept=len(candidates))
+        if cache is not None:
+            cache.results.put(
+                cache_key,
+                fingerprint,
+                {d: dict(tf) for d, tf in candidates.items()},
+            )
         return candidates
+
+    def _query_cache_key(self, query) -> Tuple:
+        """Normalized result-cache key: mode, deduped sorted terms, range."""
+        terms = tuple(sorted(dict.fromkeys(query.terms)))
+        return (query.mode.value, terms, query.time_range)
+
+    def _query_fingerprint(self, query) -> Tuple:
+        """Everything the candidate set depends on, as list lengths.
+
+        For each distinct term: its physical list and that list's
+        current length (``(-1, -1)`` while the term has no postings, so
+        its later appearance invalidates).  Appends are the only way any
+        posting list or the commit-time log changes, and a document that
+        could alter this query's candidates necessarily appends to one
+        of these lists; the disposition-log length covers disposals.
+        """
+        parts: List[int] = []
+        for term in sorted(dict.fromkeys(query.terms)):
+            term_id = self.term_id(term)
+            posting_list = (
+                self._existing_list(self._list_id_for(term_id))
+                if term_id is not None
+                else None
+            )
+            if posting_list is None:
+                parts.extend((-1, -1))
+            else:
+                parts.extend((self._list_id_for(term_id), len(posting_list)))
+        retention = self._retention_if_any()
+        parts.append(len(retention) if retention is not None else 0)
+        return tuple(parts)
+
+    def read_cache_stats(self) -> Optional[Dict[str, object]]:
+        """Per-tier read-cache counters (``None`` when caching is off)."""
+        return self.read_cache.as_dict() if self.read_cache is not None else None
 
     def _disjunctive_candidates(
         self, terms: Sequence[str], *, trace=None
@@ -701,13 +804,16 @@ class TrustworthySearchEngine:
             if span is not None:
                 span.note(present=len(present), lists=len(list_ids))
         candidates: Dict[int, Dict[int, int]] = {}
+        use_cache = self.read_cache is not None
+        block_stats = self.read_cache.blocks.stats if use_cache else None
+        hits_before = block_stats.hits if block_stats is not None else 0
         with self._stage("scan", trace, lists=len(list_ids)) as span:
             entries = 0
             for list_id in list_ids:
                 posting_list = self._existing_list(list_id)
                 if posting_list is None:
                     continue
-                for posting in posting_list.scan(counted=False):
+                for posting in posting_list.scan(counted=False, cached=use_cache):
                     entries += 1
                     term_id, tf = unpack_term_tf(posting.term_code)
                     if term_id in wanted:
@@ -717,6 +823,8 @@ class TrustworthySearchEngine:
                 self._c_scan_entries.inc(entries)
             if span is not None:
                 span.note(entries_scanned=entries, candidates=len(candidates))
+                if block_stats is not None:
+                    span.note(block_cache_hits=block_stats.hits - hits_before)
         return candidates
 
     def _conjunctive_cursors(
@@ -792,6 +900,10 @@ class TrustworthySearchEngine:
                     blocks_read=blocks,
                     jump_follows=follows,
                 )
+                if self.read_cache is not None:
+                    span.note(
+                        block_cache_hits=sum(c.cache_hits() for c in cursors)
+                    )
         return doc_ids, blocks
 
     def _result_term_freqs(

@@ -75,6 +75,10 @@ class MergedListCursor:
         """Distinct posting-list blocks this cursor loaded."""
         return len(self._cursor.blocks_read)
 
+    def cache_hits(self) -> int:
+        """Block loads served by the shared read cache (0 cache-off)."""
+        return self._cursor.cache_hits
+
 
 class TreeCursor:
     """Seekable cursor over a B+-tree-indexed (unmerged) posting list."""
@@ -258,6 +262,10 @@ class RawMergedCursor:
     def blocks_read(self) -> int:
         """Distinct posting-list blocks this cursor loaded."""
         return len(self._cursor.blocks_read)
+
+    def cache_hits(self) -> int:
+        """Block loads served by the shared read cache (0 cache-off)."""
+        return self._cursor.cache_hits
 
 
 def paper_conjunctive_join(cursors: Sequence[RawMergedCursor]) -> Tuple[List[int], int]:

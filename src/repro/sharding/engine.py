@@ -407,6 +407,30 @@ class ShardedSearchEngine:
     # ------------------------------------------------------------------
     # operational statistics
     # ------------------------------------------------------------------
+    def read_cache_stats(self) -> Optional[Dict[str, object]]:
+        """Aggregated read-cache counters across shards (``None`` cache-off).
+
+        Each shard owns an independent :class:`~repro.search.readcache.ReadCache`
+        (created from the shared config), so coherence under
+        :class:`~repro.sharding.batch.BatchIngestor` appends is local to
+        each shard: a batch routed to shard ``i`` invalidates exactly
+        shard ``i``'s affected entries.  Tier counters are summed here;
+        ``per_shard`` keeps the unsummed dicts for drill-down.
+        """
+        per_shard = [shard.read_cache_stats() for shard in self.shards]
+        if all(stats is None for stats in per_shard):
+            return None
+        present = [stats for stats in per_shard if stats is not None]
+        summed: Dict[str, object] = {"policy": present[0]["policy"]}
+        for tier in ("blocks", "results", "jump_memo"):
+            summed[tier] = {
+                key: sum(stats[tier][key] for stats in present)
+                for key in present[0][tier]
+                if key != "hit_rate"
+            }
+        summed["per_shard"] = per_shard
+        return summed
+
     def archive_stats(self) -> Dict[str, object]:
         """Aggregated operational summary across shards.
 

@@ -1,0 +1,87 @@
+"""Shared corpus and engine builders for the test suite.
+
+Several test modules used to carry their own copy of the same
+index-building boilerplate; build engines through these helpers instead
+so corpus tweaks and config plumbing happen in one place.
+"""
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.search.engine import EngineConfig, TrustworthySearchEngine
+from repro.sharding import ShardedSearchEngine
+from repro.worm.storage import CachedWormStore
+
+#: The canonical small corpus (compliance-flavoured, six documents).
+DEFAULT_CORPUS: List[str] = [
+    "imclone trading memo for stewart and waksal",       # 0
+    "quarterly revenue audit for the finance team",      # 1
+    "meeting notes about imclone drug development",      # 2
+    "stewart waksal imclone november trading archive",   # 3
+    "project status update for the storage retention",   # 4
+    "finance meeting about quarterly revenue targets",   # 5
+]
+
+#: Config used by most single-engine integration tests.
+SMALL_CONFIG = EngineConfig(num_lists=32, branching=4)
+
+#: Config used by the sharding equivalence tests (no jump index, so the
+#: scan/join split is exercised without pointer-slot space pressure).
+SHARD_CONFIG = EngineConfig(num_lists=64, block_size=4096, branching=None)
+
+
+def build_engine(
+    texts: Optional[Sequence[str]] = None,
+    *,
+    config: Optional[EngineConfig] = None,
+    store: Optional[CachedWormStore] = None,
+    batch: bool = False,
+) -> TrustworthySearchEngine:
+    """A :class:`TrustworthySearchEngine` with ``texts`` indexed.
+
+    ``texts`` defaults to :data:`DEFAULT_CORPUS`; ``config`` defaults to
+    :data:`SMALL_CONFIG`.  Pass ``batch=True`` to ingest through
+    :meth:`index_batch` instead of one :meth:`index_document` per text.
+    """
+    engine = TrustworthySearchEngine(config or SMALL_CONFIG, store=store)
+    texts = DEFAULT_CORPUS if texts is None else list(texts)
+    if batch:
+        engine.index_batch(texts)
+    else:
+        for text in texts:
+            engine.index_document(text)
+    return engine
+
+
+def build_sharded(
+    texts: Optional[Sequence[str]] = None,
+    *,
+    num_shards: int = 2,
+    config: Optional[EngineConfig] = None,
+    **kwargs,
+) -> ShardedSearchEngine:
+    """A :class:`ShardedSearchEngine` with ``texts`` batch-indexed."""
+    sharded = ShardedSearchEngine(
+        config or SHARD_CONFIG, num_shards=num_shards, **kwargs
+    )
+    texts = DEFAULT_CORPUS if texts is None else list(texts)
+    if texts:
+        sharded.index_batch(texts)
+    return sharded
+
+
+def build_engine_pair(
+    texts: Sequence[str],
+    num_shards: int,
+    *,
+    config: Optional[EngineConfig] = None,
+) -> Tuple[TrustworthySearchEngine, ShardedSearchEngine]:
+    """``(single, sharded)`` engines over the same corpus.
+
+    The pair the sharding equivalence properties compare: a 1-engine
+    archive indexed document-at-a-time and a K-shard archive batch
+    indexed, both from ``config`` (default :data:`SHARD_CONFIG`).
+    """
+    config = config or SHARD_CONFIG
+    single = build_engine(texts, config=config)
+    sharded = build_sharded(texts, num_shards=num_shards, config=config)
+    return single, sharded

@@ -6,22 +6,12 @@ from repro.core.merge import PopularUnmergedMerge
 from repro.errors import TamperDetectedError, WorkloadError
 from repro.search.engine import EngineConfig, SearchResult, TrustworthySearchEngine
 from repro.search.query import Query, QueryMode
+from tests.helpers import build_engine
 
 
 @pytest.fixture()
 def engine():
-    engine = TrustworthySearchEngine(EngineConfig(num_lists=32, branching=4))
-    texts = [
-        "imclone trading memo for stewart and waksal",       # 0
-        "quarterly revenue audit for the finance team",      # 1
-        "meeting notes about imclone drug development",      # 2
-        "stewart waksal imclone november trading archive",   # 3
-        "project status update for the storage retention",   # 4
-        "finance meeting about quarterly revenue targets",   # 5
-    ]
-    for text in texts:
-        engine.index_document(text)
-    return engine
+    return build_engine()
 
 
 class TestIngest:

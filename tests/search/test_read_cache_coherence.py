@@ -1,0 +1,112 @@
+"""Stateful coherence proof for the read-path cache hierarchy.
+
+A Hypothesis state machine drives one cache-off reference engine and one
+cached engine per eviction policy over the *same* WORM stores through
+interleaved appends, searches, and restarts.  After every search, all
+cached variants must return exactly the reference's ``(doc_id, score)``
+list — i.e. the cache is invisible except for speed, under every policy,
+across appends (exact invalidation) and restarts (caches are derived
+state; recovery re-reads the device).
+"""
+
+from dataclasses import replace
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, rule
+
+from repro.search.engine import EngineConfig, TrustworthySearchEngine
+from repro.worm.cache import READ_CACHE_POLICIES
+
+#: Small blocks + a jump index so every tier (decoded blocks, results,
+#: jump memo) is actually exercised by modest histories.
+BASE_CONFIG = EngineConfig(num_lists=16, branching=4, block_size=512)
+
+POLICIES = sorted(READ_CACHE_POLICIES)
+
+VOCAB = [f"word{i}" for i in range(8)]
+
+doc_texts = st.lists(
+    st.sampled_from(VOCAB), min_size=1, max_size=6
+).map(" ".join)
+
+query_terms = st.lists(
+    st.sampled_from(VOCAB), min_size=1, max_size=3, unique=True
+)
+
+
+class ReadCacheCoherence(RuleBasedStateMachine):
+    """Cache-on engines always answer exactly like the cache-off one."""
+
+    @initialize()
+    def build_variants(self):
+        self.variants = {}
+        reference = TrustworthySearchEngine(replace(BASE_CONFIG))
+        self.variants["off"] = reference
+        for policy in POLICIES:
+            config = replace(
+                BASE_CONFIG,
+                read_cache=True,
+                cache_policy=policy,
+                # Tiny budget: eviction churn during the history, so
+                # coherence holds under replacement too, not just hits.
+                read_cache_mb=0.01,
+            )
+            self.variants[policy] = TrustworthySearchEngine(config)
+        self.num_docs = 0
+
+    @rule(text=doc_texts)
+    def append(self, text):
+        ids = {
+            name: engine.index_document(text)
+            for name, engine in self.variants.items()
+        }
+        self.num_docs += 1
+        assert set(ids.values()) == {self.num_docs - 1}
+
+    @rule(terms=query_terms, conjunctive=st.booleans())
+    def search(self, terms, conjunctive):
+        query = " ".join(f"+{t}" for t in terms) if conjunctive else " ".join(terms)
+        expected = [
+            (r.doc_id, r.score)
+            for r in self.variants["off"].search(query, top_k=self.num_docs + 1)
+        ]
+        for policy in POLICIES:
+            got = [
+                (r.doc_id, r.score)
+                for r in self.variants[policy].search(
+                    query, top_k=self.num_docs + 1
+                )
+            ]
+            assert got == expected, f"policy {policy} diverged on {query!r}"
+
+    @rule(terms=query_terms, lo=st.integers(0, 6), span=st.integers(0, 4))
+    def time_range_search(self, terms, lo, span):
+        query = " ".join(terms) + f" @{lo}..{lo + span}"
+        expected = [
+            (r.doc_id, r.score)
+            for r in self.variants["off"].search(query, top_k=self.num_docs + 1)
+        ]
+        for policy in POLICIES:
+            got = [
+                (r.doc_id, r.score)
+                for r in self.variants[policy].search(
+                    query, top_k=self.num_docs + 1
+                )
+            ]
+            assert got == expected, f"policy {policy} diverged on {query!r}"
+
+    @rule()
+    def restart(self):
+        """Rebuild every engine from its WORM store, caches cold."""
+        for name, engine in list(self.variants.items()):
+            self.variants[name] = TrustworthySearchEngine(
+                engine.config, store=engine.store
+            )
+
+
+ReadCacheCoherence.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=15, deadline=None
+)
+
+TestReadCacheCoherence = ReadCacheCoherence.TestCase

@@ -7,12 +7,13 @@ from hypothesis import strategies as st
 from repro.adversary.attacks import posting_stuffing_attack
 from repro.adversary.detection import full_sharded_audit
 from repro.errors import TamperDetectedError, WorkloadError
-from repro.search.engine import EngineConfig, TrustworthySearchEngine
+from repro.search.engine import EngineConfig
 from repro.search.profiling import profile_sharded_query
 from repro.sharding import ShardedSearchEngine
 from repro.worm.storage import CachedWormStore
+from tests.helpers import SHARD_CONFIG, build_engine_pair
 
-CONFIG = EngineConfig(num_lists=64, block_size=4096, branching=None)
+CONFIG = SHARD_CONFIG
 
 VOCAB = [f"term{i}" for i in range(12)]
 
@@ -31,12 +32,7 @@ queries = st.one_of(
 
 
 def build_engines(docs, num_shards):
-    single = TrustworthySearchEngine(CONFIG)
-    for doc in docs:
-        single.index_document(doc)
-    sharded = ShardedSearchEngine(CONFIG, num_shards=num_shards)
-    sharded.index_batch(docs)
-    return single, sharded
+    return build_engine_pair(docs, num_shards, config=CONFIG)
 
 
 class TestEquivalence:

@@ -113,13 +113,15 @@ class TestCliErrorPaths:
         code = main(["search", "--archive", archive, "imclone"])
         assert code != 0
 
-    def test_index_missing_file_raises_cleanly(self, tmp_path, capsys):
+    def test_index_missing_file_exits_cleanly(self, tmp_path, capsys):
         from repro.cli import main
 
         archive = str(tmp_path / "a.worm")
         main(["init", "--archive", archive])
-        with pytest.raises(FileNotFoundError):
-            main(["index", "--archive", archive, str(tmp_path / "missing.txt")])
+        capsys.readouterr()
+        code = main(["index", "--archive", archive, str(tmp_path / "missing.txt")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
 
 
 class TestEngineSeams:
