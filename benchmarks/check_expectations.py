@@ -25,7 +25,12 @@ import sys
 HERE = pathlib.Path(__file__).parent
 
 #: Compared for presence, not content (wall-clock measurements inside).
-NONDETERMINISTIC = {"FIG4.txt", "OBS-OVERHEAD.txt", "READ-CACHE.txt"}
+NONDETERMINISTIC = {
+    "FIG4.txt",
+    "LOADTEST.txt",
+    "OBS-OVERHEAD.txt",
+    "READ-CACHE.txt",
+}
 
 
 def compare(

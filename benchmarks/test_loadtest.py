@@ -1,0 +1,85 @@
+"""LOADTEST — whole-system throughput and tail latency under mixed load.
+
+Not a paper figure: this benchmark exercises the assembled system the
+way Section 7's evaluation does — concurrent clients driving a mixed
+search/ingest stream — rather than one mechanism in isolation.  The
+load harness (:mod:`repro.loadtest`) runs a short closed-loop burst
+against a sharded in-memory engine at the benchmark scale's document
+count and reports QPS, ingest throughput, and the search latency tail.
+
+Every number here is wall-clock, so ``check_expectations.py`` compares
+the report for presence only (``LOADTEST.txt`` is in its
+``NONDETERMINISTIC`` set); the regression gate for these metrics is the
+tolerance-banded snapshot comparison in CI's ``loadtest-smoke`` job.
+"""
+
+from conftest import bench_scale, once
+
+from repro.loadtest import LoadTestConfig, run_load_test
+from repro.search.engine import EngineConfig
+from repro.sharding import ShardedSearchEngine
+from repro.simulate.report import format_table
+
+NUM_SHARDS = 2
+CLIENTS = 4
+DURATION = 2.0
+CONFIG = EngineConfig(num_lists=128, block_size=4096)
+
+
+def test_loadtest(benchmark, emit):
+    scale = bench_scale()
+    config = LoadTestConfig(
+        clients=CLIENTS,
+        duration=DURATION,
+        mix=0.9,
+        seed=42,
+        preload_docs=min(scale.num_docs, 2_000),
+        ingest_pool=500,
+        vocabulary_size=min(scale.vocabulary_size, 5_000),
+    )
+
+    def run():
+        engine = ShardedSearchEngine(CONFIG, num_shards=NUM_SHARDS)
+        try:
+            return run_load_test(engine, config)
+        finally:
+            engine.close()
+
+    result = once(benchmark, run)
+
+    search = result.search_latency
+    ingest = result.ingest_latency
+    rows = [
+        (
+            "search",
+            result.searches,
+            f"{result.qps:.1f}",
+            f"{search.p50 * 1e3:.2f}",
+            f"{search.p95 * 1e3:.2f}",
+            f"{search.p99 * 1e3:.2f}",
+        ),
+        (
+            "ingest",
+            result.ingests,
+            f"{result.ingest_docs_per_s:.1f}",
+            f"{ingest.p50 * 1e3:.2f}",
+            f"{ingest.p95 * 1e3:.2f}",
+            f"{ingest.p99 * 1e3:.2f}",
+        ),
+    ]
+    table = format_table(
+        ("op", "count", "per second", "p50 (ms)", "p95 (ms)", "p99 (ms)"),
+        rows,
+    )
+    emit(
+        "LOADTEST",
+        table
+        + f"\n{result.config.clients} clients, closed loop, "
+        f"{result.shards} shards, {result.wall_seconds:.2f}s wall, "
+        f"ingest {result.ingest_mb_per_s:.3f} MB/s, "
+        f"errors {result.errors}",
+    )
+
+    assert result.errors == 0, result.error_messages
+    assert result.searches > 0 and result.ingests > 0
+    assert search.p50 <= search.p95 <= search.p99

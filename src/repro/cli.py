@@ -17,6 +17,11 @@ Usage (also available as ``python -m repro``)::
     repro-search profile --archive records.worm "+a +b +c" --query-file log.txt
     repro-search dispose --archive records.worm --now TIME
     repro-search verify-journal --archive records.worm
+    repro-search loadtest [--clients N] [--duration S] [--mix F]
+                          [--arrival-rate R] [--seed S] [--shards K]
+                          [--out BENCH_LOADTEST.json] [--compare BASELINE]
+    repro-search capacity --snapshot BENCH_LOADTEST.json
+                          --target-qps QPS --target-p99-ms MS
 
 The archive is one append-only journal file holding the entire WORM
 device: documents, posting lists, jump pointers, commit-time log,
@@ -449,6 +454,107 @@ def _cmd_verify_journal(args) -> int:
     return 0
 
 
+def _cmd_loadtest(args) -> int:
+    """Run the whole-system load harness against an ephemeral archive."""
+    from repro.loadtest import (
+        LoadTestConfig,
+        compare_snapshots,
+        read_snapshot,
+        run_load_test,
+    )
+    from repro.loadtest.snapshot import snapshot_document, write_snapshot
+    from repro.observability import export_loadtest
+
+    if args.clients < 1:
+        print(f"--clients must be >= 1 (got {args.clients})", file=sys.stderr)
+        return 2
+    if args.duration <= 0:
+        print(f"--duration must be positive (got {args.duration})", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.mix <= 1.0:
+        print(f"--mix must be in [0, 1] (got {args.mix})", file=sys.stderr)
+        return 2
+    if args.arrival_rate is not None and args.arrival_rate <= 0:
+        print(
+            f"--arrival-rate must be positive (got {args.arrival_rate})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1 (got {args.shards})", file=sys.stderr)
+        return 2
+    if args.docs < 1:
+        print(f"--docs must be >= 1 (got {args.docs})", file=sys.stderr)
+        return 2
+    config = LoadTestConfig(
+        clients=args.clients,
+        duration=args.duration,
+        mix=args.mix,
+        arrival_rate=args.arrival_rate,
+        seed=args.seed,
+        preload_docs=args.docs,
+        drift_stride=args.drift,
+    )
+    # An ephemeral in-memory archive: the harness measures the engine,
+    # not a disk layout, and every run starts from the same state.
+    engine_config = EngineConfig(
+        num_lists=256, block_size=4096, branching=None
+    )
+    engine = ShardedSearchEngine(
+        engine_config,
+        num_shards=args.shards,
+        max_workers=args.workers,
+    )
+    try:
+        result = run_load_test(engine, config)
+        export_loadtest(engine.metrics, result)
+    finally:
+        engine.close()
+    print(result.summary())
+    for message in result.error_messages:
+        print(f"  error: {message}", file=sys.stderr)
+    if args.out:
+        write_snapshot(result, args.out)
+        print(f"wrote load-test snapshot to {args.out}")
+    if args.compare:
+        baseline = read_snapshot(args.compare)
+        violations, report = compare_snapshots(
+            baseline, snapshot_document(result)
+        )
+        for line in report:
+            print(line)
+        if violations:
+            print(f"{len(violations)} regression(s) beyond tolerance:")
+            for violation in violations:
+                print(f"  - {violation}", file=sys.stderr)
+            return 1
+        print("all banded metrics within tolerance of the baseline")
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    """Predict shards x workers from committed load-test snapshots."""
+    from repro.core.cost_model import predict_capacity
+    from repro.loadtest import read_snapshot
+
+    if args.target_qps <= 0:
+        print(
+            f"--target-qps must be positive (got {args.target_qps})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.target_p99_ms <= 0:
+        print(
+            f"--target-p99-ms must be positive (got {args.target_p99_ms})",
+            file=sys.stderr,
+        )
+        return 2
+    snapshots = [read_snapshot(path) for path in args.snapshot]
+    plan = predict_capacity(snapshots, args.target_qps, args.target_p99_ms)
+    print(plan.summary())
+    return 0
+
+
 def _cmd_dispose(args) -> int:
     engine, archive = open_archive(args.archive)
     try:
@@ -603,6 +709,81 @@ def build_parser() -> argparse.ArgumentParser:
     dispose.add_argument("--archive", required=True)
     dispose.add_argument("--now", type=int, required=True, help="current time")
     dispose.set_defaults(func=_cmd_dispose)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive concurrent mixed search/ingest traffic and measure "
+        "QPS, latency percentiles, and ingest throughput",
+    )
+    loadtest.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client threads (default: 4)",
+    )
+    loadtest.add_argument(
+        "--duration", type=float, default=5.0,
+        help="run length in seconds (default: 5)",
+    )
+    loadtest.add_argument(
+        "--mix", type=float, default=0.9,
+        help="fraction of operations that are searches; the rest are "
+        "ingests (default: 0.9)",
+    )
+    loadtest.add_argument(
+        "--arrival-rate", type=float, default=None,
+        help="total ops/second for open-loop mode (latency then includes "
+        "queueing delay); default: closed loop",
+    )
+    loadtest.add_argument(
+        "--seed", type=int, default=42,
+        help="workload determinism seed (default: 42)",
+    )
+    loadtest.add_argument(
+        "--shards", type=int, default=2,
+        help="shards of the ephemeral archive (default: 2)",
+    )
+    loadtest.add_argument(
+        "--workers", type=int, default=None,
+        help="per-query fan-out threads (default: one per shard)",
+    )
+    loadtest.add_argument(
+        "--docs", type=int, default=300,
+        help="documents preloaded before the clock starts (default: 300)",
+    )
+    loadtest.add_argument(
+        "--drift", type=int, default=0, metavar="STRIDE",
+        help="rotate query popularity between epochs by STRIDE hot-pool "
+        "ranks (default: 0 = stable popularity)",
+    )
+    loadtest.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the BENCH_LOADTEST.json snapshot to PATH",
+    )
+    loadtest.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="diff this run against a baseline snapshot under the default "
+        "tolerance bands; exit 1 on regression",
+    )
+    loadtest.set_defaults(func=_cmd_loadtest)
+
+    capacity = sub.add_parser(
+        "capacity",
+        help="predict shards x workers for a QPS/p99 target from "
+        "load-test snapshots",
+    )
+    capacity.add_argument(
+        "--snapshot", action="append", required=True, metavar="PATH",
+        help="BENCH_LOADTEST.json snapshot(s) to calibrate from "
+        "(repeatable)",
+    )
+    capacity.add_argument(
+        "--target-qps", type=float, required=True,
+        help="throughput target in queries/second",
+    )
+    capacity.add_argument(
+        "--target-p99-ms", type=float, required=True,
+        help="latency target: search p99 in milliseconds",
+    )
+    capacity.set_defaults(func=_cmd_capacity)
     return parser
 
 

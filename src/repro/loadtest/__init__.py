@@ -1,0 +1,47 @@
+"""Whole-system load testing: concurrent traffic, latency accounting,
+capacity calibration, and a committed performance trajectory.
+
+Per-figure benchmarks measure one mechanism at a time; this package
+measures the *system*: N client threads of mixed search/ingest traffic
+(open- or closed-loop, Zipfian query popularity with optional drift)
+driven against a sharded engine, with p50/p95/p99 latency recorded by a
+thread-safe reservoir recorder and throughput pulled from the metrics
+registry.  Results serialize to a schema-versioned ``BENCH_LOADTEST.json``
+snapshot committed per PR, and :mod:`repro.loadtest.compare` diffs two
+snapshots under per-metric tolerance bands so CI can fail on regression.
+
+See :mod:`repro.loadtest.harness` for the driver,
+:mod:`repro.loadtest.recorder` for latency accounting,
+:mod:`repro.loadtest.snapshot` for the snapshot format, and
+:func:`repro.core.cost_model.CapacityModel` for the capacity predictor
+calibrated from snapshots.
+"""
+
+from repro.loadtest.compare import DEFAULT_BANDS, ToleranceBand, compare_snapshots
+from repro.loadtest.harness import (
+    LoadTestConfig,
+    LoadTestHarness,
+    LoadTestResult,
+    run_load_test,
+)
+from repro.loadtest.recorder import LatencyRecorder, LatencySummary
+from repro.loadtest.snapshot import (
+    SNAPSHOT_SCHEMA,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "DEFAULT_BANDS",
+    "LatencyRecorder",
+    "LatencySummary",
+    "LoadTestConfig",
+    "LoadTestHarness",
+    "LoadTestResult",
+    "SNAPSHOT_SCHEMA",
+    "ToleranceBand",
+    "compare_snapshots",
+    "read_snapshot",
+    "run_load_test",
+    "write_snapshot",
+]

@@ -1,0 +1,14 @@
+"""``python -m repro.loadtest`` — the snapshot comparer CLI.
+
+Equivalent to :mod:`repro.loadtest.compare`'s ``main`` (running the
+submodule directly works too, but this entry point avoids runpy's
+re-import warning since the package ``__init__`` already imports the
+comparer).
+"""
+
+import sys
+
+from repro.loadtest.compare import main
+
+if __name__ == "__main__":
+    sys.exit(main())

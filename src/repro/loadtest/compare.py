@@ -1,0 +1,227 @@
+"""Diff two load-test snapshots under per-metric tolerance bands.
+
+Load-test numbers are wall-clock measurements: byte-exact comparison
+(what :mod:`benchmarks.check_expectations` does for the deterministic
+figures) would fail on every run.  Instead each guarded metric carries a
+:class:`ToleranceBand` — how much worse the fresh run may be before it
+counts as a regression, and (for throughput) how much better before it
+counts as a stale baseline worth recommitting.  The default bands are
+deliberately wide (CI runners are noisy neighbours); the policy is
+documented in ``docs/LOADTEST.md``.
+
+Usable as a library (:func:`compare_snapshots`) or a CLI::
+
+    python -m repro.loadtest.compare BASELINE.json FRESH.json \\
+        [--band qps=0.4] [--band latency_ms.search.p99_ms=4.0]
+
+Exit status: 0 when every band holds, 1 on regression, 2 on bad input —
+the contract CI's ``loadtest-smoke`` job relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.loadtest.snapshot import read_snapshot
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """How far a metric may move from baseline before failing.
+
+    Attributes
+    ----------
+    min_ratio:
+        Lower bound on ``fresh / baseline`` (throughput floors);
+        ``None`` leaves the downside unguarded.
+    max_ratio:
+        Upper bound on ``fresh / baseline`` (latency ceilings);
+        ``None`` leaves the upside unguarded.
+    max_abs:
+        Absolute ceiling on the fresh value, applied regardless of the
+        baseline (used for ``error_rate``, where baseline 0 makes
+        ratios meaningless).
+    higher_is_better:
+        Direction, for the report text only.
+    """
+
+    min_ratio: Optional[float] = None
+    max_ratio: Optional[float] = None
+    max_abs: Optional[float] = None
+    higher_is_better: bool = True
+
+    def check(
+        self, metric: str, baseline: float, fresh: float
+    ) -> Optional[str]:
+        """``None`` when within band; a violation message otherwise."""
+        if self.max_abs is not None and fresh > self.max_abs:
+            return (
+                f"{metric}: {fresh:.6g} exceeds the absolute ceiling "
+                f"{self.max_abs:.6g}"
+            )
+        if baseline <= 0:
+            # No meaningful ratio; the absolute ceiling (if any) ruled.
+            return None
+        ratio = fresh / baseline
+        if self.min_ratio is not None and ratio < self.min_ratio:
+            return (
+                f"{metric}: {fresh:.6g} is {ratio:.2f}x the baseline "
+                f"{baseline:.6g} (floor {self.min_ratio:.2f}x)"
+            )
+        if self.max_ratio is not None and ratio > self.max_ratio:
+            return (
+                f"{metric}: {fresh:.6g} is {ratio:.2f}x the baseline "
+                f"{baseline:.6g} (ceiling {self.max_ratio:.2f}x)"
+            )
+        return None
+
+
+#: Default policy: throughput may not halve, tail latency may not
+#: quadruple, and the error rate stays (near) zero.  Wide on purpose —
+#: the committed baseline and the CI runner are different machines.
+DEFAULT_BANDS: Dict[str, ToleranceBand] = {
+    "qps": ToleranceBand(min_ratio=0.4),
+    "ingest_docs_per_s": ToleranceBand(min_ratio=0.3),
+    "ingest_mb_per_s": ToleranceBand(min_ratio=0.3),
+    "error_rate": ToleranceBand(max_abs=0.001, higher_is_better=False),
+    "latency_ms.search.p50_ms": ToleranceBand(
+        max_ratio=4.0, higher_is_better=False
+    ),
+    "latency_ms.search.p95_ms": ToleranceBand(
+        max_ratio=4.0, higher_is_better=False
+    ),
+    "latency_ms.search.p99_ms": ToleranceBand(
+        max_ratio=5.0, higher_is_better=False
+    ),
+    "latency_ms.ingest.p99_ms": ToleranceBand(
+        max_ratio=5.0, higher_is_better=False
+    ),
+}
+
+
+def _metric_value(metrics: Dict[str, object], dotted: str) -> Optional[float]:
+    """Resolve ``a.b.c`` inside the snapshot's metrics dict."""
+    node: object = metrics
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare_snapshots(
+    baseline: Dict[str, object],
+    fresh: Dict[str, object],
+    *,
+    bands: Optional[Dict[str, ToleranceBand]] = None,
+) -> Tuple[List[str], List[str]]:
+    """``(violations, report_lines)`` for two snapshot documents.
+
+    Every banded metric present in *both* snapshots is checked; a metric
+    missing from the fresh snapshot is itself a violation (the harness
+    stopped reporting something the policy guards).  Config drift
+    (different seed, clients, or mix) is flagged too: bands are only
+    meaningful between runs of the same workload.
+    """
+    bands = DEFAULT_BANDS if bands is None else bands
+    violations: List[str] = []
+    report: List[str] = []
+    base_cfg = baseline.get("config", {})
+    fresh_cfg = fresh.get("config", {})
+    for knob in ("seed", "clients", "mix", "duration", "arrival_rate"):
+        if base_cfg.get(knob) != fresh_cfg.get(knob):
+            violations.append(
+                f"config.{knob}: baseline {base_cfg.get(knob)!r} vs fresh "
+                f"{fresh_cfg.get(knob)!r} — snapshots are not comparable"
+            )
+    base_metrics = baseline.get("metrics", {})
+    fresh_metrics = fresh.get("metrics", {})
+    for metric in sorted(bands):
+        band = bands[metric]
+        base_value = _metric_value(base_metrics, metric)
+        fresh_value = _metric_value(fresh_metrics, metric)
+        if base_value is None:
+            report.append(f"SKIP     {metric}: not in baseline")
+            continue
+        if fresh_value is None:
+            violations.append(f"{metric}: missing from the fresh snapshot")
+            continue
+        problem = band.check(metric, base_value, fresh_value)
+        verdict = "FAIL" if problem else "OK  "
+        report.append(
+            f"{verdict}     {metric}: {base_value:.6g} -> {fresh_value:.6g}"
+        )
+        if problem:
+            violations.append(problem)
+    return violations, report
+
+
+def parse_band_override(spec: str) -> Tuple[str, ToleranceBand]:
+    """Parse a ``--band metric=ratio`` override.
+
+    The ratio replaces the guarded side of the default band for that
+    metric: the floor for higher-is-better metrics, the ceiling
+    otherwise.  Unknown metrics get a latency-style ceiling band.
+    """
+    if "=" not in spec:
+        raise WorkloadError(f"--band must look like metric=ratio, got '{spec}'")
+    metric, _, raw = spec.partition("=")
+    metric = metric.strip()
+    try:
+        ratio = float(raw)
+    except ValueError:
+        raise WorkloadError(
+            f"--band ratio must be a number, got '{raw}'"
+        ) from None
+    if ratio <= 0:
+        raise WorkloadError(f"--band ratio must be positive, got {ratio}")
+    default = DEFAULT_BANDS.get(metric)
+    if default is not None and default.higher_is_better:
+        return metric, ToleranceBand(min_ratio=ratio)
+    return metric, ToleranceBand(max_ratio=ratio, higher_is_better=False)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadtest.compare",
+        description="Diff two BENCH_LOADTEST.json snapshots with tolerance bands",
+    )
+    parser.add_argument("baseline", help="committed baseline snapshot")
+    parser.add_argument("fresh", help="freshly generated snapshot")
+    parser.add_argument(
+        "--band",
+        action="append",
+        default=[],
+        metavar="METRIC=RATIO",
+        help="override one metric's band ratio (repeatable), e.g. qps=0.4",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = read_snapshot(args.baseline)
+        fresh = read_snapshot(args.fresh)
+        bands = dict(DEFAULT_BANDS)
+        for spec in args.band:
+            metric, band = parse_band_override(spec)
+            bands[metric] = band
+    except WorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    violations, report = compare_snapshots(baseline, fresh, bands=bands)
+    for line in report:
+        print(line)
+    if violations:
+        print(f"\n{len(violations)} regression(s) beyond tolerance:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("\nall banded metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() tests
+    sys.exit(main())

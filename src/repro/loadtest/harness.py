@@ -1,0 +1,505 @@
+"""Concurrent whole-system load harness: mixed search/ingest traffic.
+
+The per-figure benchmarks measure one mechanism in deterministic counts;
+this harness measures the assembled system in wall-clock terms, the way
+the paper's Section 7 / Figure 4 measures end-to-end runtime.  ``N``
+client threads drive a mixed stream of search and ingest operations
+against an engine (sharded or not):
+
+* **closed loop** — each client issues its next operation the moment
+  the previous one returns; measures the system's saturated throughput.
+* **open loop** (``arrival_rate`` set) — operations arrive on a seeded
+  Poisson schedule independent of completions; latency is measured from
+  the *scheduled* arrival, so queueing delay under overload is charged
+  to the system, not hidden (the coordinated-omission trap).
+
+Queries follow a Zipfian popularity profile over the preloaded corpus
+vocabulary (:mod:`repro.workloads.queries`), optionally drifting between
+epochs (:mod:`repro.workloads.drift`); ingested documents come from the
+same synthetic corpus generator the figure benchmarks use.  The workload
+plan — every query string, document body, op kind, and arrival offset —
+is generated up front and is fully deterministic under ``seed``; only
+the measured timings vary run to run.
+
+Concurrency model: searches run fully concurrent under a shared lock;
+ingest takes the exclusive side of a reader-writer lock, because the
+engine's append path (journal tail, lexicon, router clock) is
+single-writer by design.  That matches the production shape of a WORM
+archive — many investigators, one committing pipeline — and keeps the
+error rate structurally zero instead of racily small.
+
+Latency lands in per-client, per-kind :class:`~repro.loadtest.recorder.
+LatencyRecorder` reservoirs, merged after the run (the merge-equals-
+global property is what makes that sound).  Ingest MB/s is pulled from
+the engine's PR 3 :class:`~repro.observability.metrics.MetricsRegistry`
+(``repro_ingest_bytes_total``) when present, falling back to the
+harness's own byte accounting for unmetered engines.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import WorkloadError
+from repro.loadtest.recorder import LatencyRecorder, LatencySummary
+from repro.observability.adapters import counter_value
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+from repro.workloads.drift import DriftConfig, DriftingWorkload
+from repro.workloads.queries import QueryLogConfig, QueryLogGenerator
+from repro.workloads.vocabulary import Vocabulary
+
+#: Snapshot metric name the harness reads for ingest throughput.
+INGEST_BYTES_COUNTER = "repro_ingest_bytes_total"
+
+
+@dataclass(frozen=True)
+class LoadTestConfig:
+    """Parameters of one load-test run.
+
+    Attributes
+    ----------
+    clients:
+        Number of concurrent client threads.
+    duration:
+        Wall-clock run length in seconds.
+    mix:
+        Fraction of operations that are searches; the rest are ingests.
+    arrival_rate:
+        Total operations/second across all clients for open-loop mode;
+        ``None`` runs closed-loop (back-to-back per client).
+    seed:
+        Master determinism seed for the workload plan.
+    top_k:
+        Results requested per search.
+    preload_docs:
+        Documents indexed before the clock starts (the searchable base).
+    ingest_pool:
+        Distinct documents prepared for ingest ops (cycled if exhausted).
+    vocabulary_size:
+        Term universe shared by corpus and queries.
+    zipf_s:
+        Skew of both the document and query popularity profiles.
+    drift_stride:
+        ``> 0`` rotates query popularity between epochs mid-run
+        (:class:`~repro.workloads.drift.DriftingWorkload`); ``0`` keeps
+        one stable profile.
+    drift_epochs:
+        Number of popularity epochs the plan cycles through when
+        drifting.
+    plan_ops_per_client:
+        Length of each client's pre-generated op stream; clients cycle
+        it if a fast machine exhausts the plan before the deadline.
+    recorder_capacity:
+        Reservoir size of each latency recorder.
+    """
+
+    clients: int = 4
+    duration: float = 5.0
+    mix: float = 0.9
+    arrival_rate: Optional[float] = None
+    seed: int = 42
+    top_k: int = 10
+    preload_docs: int = 300
+    ingest_pool: int = 400
+    vocabulary_size: int = 2_000
+    zipf_s: float = 1.1
+    drift_stride: int = 0
+    drift_epochs: int = 4
+    plan_ops_per_client: int = 4_000
+    recorder_capacity: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise WorkloadError(f"clients must be >= 1, got {self.clients}")
+        if self.duration <= 0:
+            raise WorkloadError(f"duration must be positive, got {self.duration}")
+        if not 0.0 <= self.mix <= 1.0:
+            raise WorkloadError(f"mix must be in [0, 1], got {self.mix}")
+        if self.arrival_rate is not None and self.arrival_rate <= 0:
+            raise WorkloadError(
+                f"arrival_rate must be positive, got {self.arrival_rate}"
+            )
+        if self.preload_docs < 1:
+            raise WorkloadError(
+                f"preload_docs must be >= 1, got {self.preload_docs}"
+            )
+        if self.drift_stride < 0:
+            raise WorkloadError(
+                f"drift_stride must be >= 0, got {self.drift_stride}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view of the knobs that shape the workload."""
+        return {
+            "clients": self.clients,
+            "duration": self.duration,
+            "mix": self.mix,
+            "arrival_rate": self.arrival_rate,
+            "seed": self.seed,
+            "top_k": self.top_k,
+            "preload_docs": self.preload_docs,
+            "vocabulary_size": self.vocabulary_size,
+            "zipf_s": self.zipf_s,
+            "drift_stride": self.drift_stride,
+        }
+
+
+@dataclass
+class LoadTestResult:
+    """Everything one run measured, ready for snapshotting."""
+
+    config: LoadTestConfig
+    mode: str
+    wall_seconds: float
+    operations: int
+    searches: int
+    ingests: int
+    errors: int
+    qps: float
+    ingest_docs_per_s: float
+    ingest_mb_per_s: float
+    ingest_bytes: int
+    shards: int
+    search_latency: LatencySummary
+    ingest_latency: LatencySummary
+    error_messages: List[str] = field(default_factory=list)
+
+    @property
+    def error_rate(self) -> float:
+        """Errors per issued operation (0.0 for an idle run)."""
+        return self.errors / self.operations if self.operations else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """The metrics body of a ``BENCH_LOADTEST.json`` snapshot."""
+        return {
+            "mode": self.mode,
+            "wall_seconds": self.wall_seconds,
+            "operations": self.operations,
+            "searches": self.searches,
+            "ingests": self.ingests,
+            "errors": self.errors,
+            "error_rate": self.error_rate,
+            "qps": self.qps,
+            "ingest_docs_per_s": self.ingest_docs_per_s,
+            "ingest_mb_per_s": self.ingest_mb_per_s,
+            "shards": self.shards,
+            "latency_ms": {
+                "search": self.search_latency.to_dict(),
+                "ingest": self.ingest_latency.to_dict(),
+            },
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-run report (what the CLI prints)."""
+        s = self.search_latency
+        i = self.ingest_latency
+        lines = [
+            f"load test ({self.mode} loop): {self.config.clients} clients, "
+            f"{self.wall_seconds:.2f}s wall, {self.shards} shard(s)",
+            f"  operations  {self.operations}  "
+            f"(searches {self.searches}, ingests {self.ingests}, "
+            f"errors {self.errors})",
+            f"  search      {self.qps:8.1f} qps   "
+            f"p50 {s.p50 * 1000:7.2f} ms   p95 {s.p95 * 1000:7.2f} ms   "
+            f"p99 {s.p99 * 1000:7.2f} ms",
+            f"  ingest      {self.ingest_docs_per_s:8.1f} docs/s  "
+            f"{self.ingest_mb_per_s:6.3f} MB/s   "
+            f"p50 {i.p50 * 1000:7.2f} ms   p99 {i.p99 * 1000:7.2f} ms",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Op:
+    """One planned operation: a search query or a document to ingest."""
+
+    kind: str  # "search" | "ingest"
+    payload: str
+
+
+class _ReadWriteLock:
+    """Reader-writer lock: concurrent searches, exclusive ingest."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._readers_done = threading.Condition(self._mutex)
+        self._readers = 0
+        self._writer = threading.Lock()
+
+    def acquire_read(self) -> None:
+        with self._writer:  # queue behind any active/waiting writer
+            with self._mutex:
+                self._readers += 1
+
+    def release_read(self) -> None:
+        with self._mutex:
+            self._readers -= 1
+            if self._readers == 0:
+                self._readers_done.notify_all()
+
+    def acquire_write(self) -> None:
+        self._writer.acquire()
+        with self._mutex:
+            while self._readers:
+                self._readers_done.wait()
+
+    def release_write(self) -> None:
+        self._writer.release()
+
+
+class LoadTestHarness:
+    """Drive a deterministic mixed workload against ``engine``.
+
+    Parameters
+    ----------
+    engine:
+        Anything with ``search(query, top_k=...)`` and
+        ``index_batch(texts)`` — a
+        :class:`~repro.sharding.engine.ShardedSearchEngine` or a single
+        :class:`~repro.search.engine.TrustworthySearchEngine`.
+    config:
+        The run parameters; see :class:`LoadTestConfig`.
+    preload:
+        Index the preload corpus into ``engine`` before running
+        (default).  Pass ``False`` when the engine is already populated
+        — the query stream still targets the synthetic vocabulary.
+    """
+
+    def __init__(self, engine, config: Optional[LoadTestConfig] = None, *, preload: bool = True):
+        self.engine = engine
+        self.config = config or LoadTestConfig()
+        self._vocabulary = Vocabulary(self.config.vocabulary_size)
+        self._plans: Optional[List[List[_Op]]] = None
+        self._preload = preload
+
+    # ------------------------------------------------------------------
+    # workload plan
+    # ------------------------------------------------------------------
+    def _corpus_texts(self) -> List[str]:
+        """Preload + ingest-pool documents, rendered to text."""
+        cfg = self.config
+        generator = CorpusGenerator(
+            CorpusConfig(
+                num_docs=cfg.preload_docs + cfg.ingest_pool,
+                vocabulary_size=cfg.vocabulary_size,
+                mean_terms_per_doc=40.0,
+                zipf_s=cfg.zipf_s,
+                seed=cfg.seed,
+            )
+        )
+        return [doc.text(self._vocabulary) for doc in generator]
+
+    def _query_texts(self, count: int) -> List[str]:
+        """``count`` query strings under the configured popularity."""
+        cfg = self.config
+        if cfg.drift_stride > 0:
+            drift = DriftingWorkload(
+                DriftConfig(
+                    vocabulary_size=cfg.vocabulary_size,
+                    num_epochs=cfg.drift_epochs,
+                    queries_per_epoch=max(1, count // cfg.drift_epochs + 1),
+                    hot_pool_size=max(2, cfg.vocabulary_size // 20),
+                    drift_stride=min(
+                        cfg.drift_stride, max(2, cfg.vocabulary_size // 20)
+                    ),
+                    zipf_s=cfg.zipf_s,
+                    seed=cfg.seed,
+                )
+            )
+            queries = [
+                q.text(self._vocabulary)
+                for epoch in drift.epochs()
+                for q in epoch.queries
+            ]
+        else:
+            generator = QueryLogGenerator(
+                QueryLogConfig(
+                    num_queries=count,
+                    vocabulary_size=cfg.vocabulary_size,
+                    zipf_s=cfg.zipf_s,
+                    seed=cfg.seed,
+                )
+            )
+            queries = [q.text(self._vocabulary) for q in generator]
+        return queries[:count] if len(queries) >= count else queries
+
+    def build_plan(self) -> List[List[_Op]]:
+        """Per-client operation streams (deterministic under the seed)."""
+        if self._plans is not None:
+            return self._plans
+        cfg = self.config
+        texts = self._corpus_texts()
+        ingest_texts = texts[cfg.preload_docs :] or texts[:1]
+        total_ops = cfg.clients * cfg.plan_ops_per_client
+        queries = self._query_texts(max(1, total_ops))
+        plans: List[List[_Op]] = []
+        query_cursor = 0
+        ingest_cursor = 0
+        for client in range(cfg.clients):
+            rng = random.Random((cfg.seed << 10) ^ client)
+            ops: List[_Op] = []
+            for _ in range(cfg.plan_ops_per_client):
+                if rng.random() < cfg.mix:
+                    ops.append(
+                        _Op("search", queries[query_cursor % len(queries)])
+                    )
+                    query_cursor += 1
+                else:
+                    ops.append(
+                        _Op(
+                            "ingest",
+                            ingest_texts[ingest_cursor % len(ingest_texts)],
+                        )
+                    )
+                    ingest_cursor += 1
+            plans.append(ops)
+        self._plans = plans
+        return plans
+
+    def preload(self) -> int:
+        """Index the preload corpus; returns the document count."""
+        texts = self._corpus_texts()[: self.config.preload_docs]
+        self.engine.index_batch(texts)
+        return len(texts)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> LoadTestResult:
+        """Execute the configured run and return its measurements."""
+        cfg = self.config
+        plans = self.build_plan()
+        if self._preload:
+            self.preload()
+        ingest_bytes_before = counter_value(
+            getattr(self.engine, "metrics", None), INGEST_BYTES_COUNTER
+        )
+        lock = _ReadWriteLock()
+        search_recorders = [
+            LatencyRecorder(cfg.recorder_capacity, seed=cfg.seed + i)
+            for i in range(cfg.clients)
+        ]
+        ingest_recorders = [
+            LatencyRecorder(cfg.recorder_capacity, seed=cfg.seed + 1000 + i)
+            for i in range(cfg.clients)
+        ]
+        counts = [[0, 0, 0, 0] for _ in range(cfg.clients)]  # srch,ing,err,bytes
+        errors: List[str] = []
+        errors_lock = threading.Lock()
+        start_barrier = threading.Barrier(cfg.clients + 1)
+        per_client_rate = (
+            cfg.arrival_rate / cfg.clients if cfg.arrival_rate else None
+        )
+
+        def client_loop(client_id: int) -> None:
+            ops = plans[client_id]
+            search_rec = search_recorders[client_id]
+            ingest_rec = ingest_recorders[client_id]
+            tally = counts[client_id]
+            arrival_rng = random.Random((cfg.seed << 20) ^ (client_id + 1))
+            start_barrier.wait()
+            begin = time.perf_counter()
+            deadline = begin + cfg.duration
+            next_arrival = begin
+            index = 0
+            while True:
+                now = time.perf_counter()
+                if now >= deadline:
+                    break
+                if per_client_rate is not None:
+                    # Open loop: honour the schedule; latency is charged
+                    # from the scheduled arrival, queueing included.
+                    if next_arrival > now:
+                        time.sleep(min(next_arrival - now, deadline - now))
+                        now = time.perf_counter()
+                        if now >= deadline:
+                            break
+                    issued_at = next_arrival
+                    next_arrival += arrival_rng.expovariate(per_client_rate)
+                else:
+                    issued_at = now
+                op = ops[index % len(ops)]
+                index += 1
+                try:
+                    if op.kind == "search":
+                        lock.acquire_read()
+                        try:
+                            self.engine.search(op.payload, top_k=cfg.top_k)
+                        finally:
+                            lock.release_read()
+                        search_rec.record(time.perf_counter() - issued_at)
+                        tally[0] += 1
+                    else:
+                        lock.acquire_write()
+                        try:
+                            self.engine.index_batch([op.payload])
+                        finally:
+                            lock.release_write()
+                        ingest_rec.record(time.perf_counter() - issued_at)
+                        tally[1] += 1
+                        tally[3] += len(op.payload.encode("utf-8"))
+                except Exception as exc:  # noqa: BLE001 - load test must survive
+                    tally[2] += 1
+                    with errors_lock:
+                        if len(errors) < 20:
+                            errors.append(f"{op.kind}: {exc!r}")
+
+        threads = [
+            threading.Thread(
+                target=client_loop, args=(i,), name=f"loadtest-client-{i}"
+            )
+            for i in range(cfg.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait()
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+
+        searches = sum(t[0] for t in counts)
+        ingests = sum(t[1] for t in counts)
+        error_count = sum(t[2] for t in counts)
+        local_bytes = sum(t[3] for t in counts)
+        ingest_bytes_after = counter_value(
+            getattr(self.engine, "metrics", None), INGEST_BYTES_COUNTER
+        )
+        if ingest_bytes_after is not None and ingest_bytes_before is not None:
+            ingest_bytes = int(ingest_bytes_after - ingest_bytes_before)
+        else:
+            ingest_bytes = local_bytes
+        return LoadTestResult(
+            config=cfg,
+            mode="open" if cfg.arrival_rate else "closed",
+            wall_seconds=wall,
+            operations=searches + ingests + error_count,
+            searches=searches,
+            ingests=ingests,
+            errors=error_count,
+            qps=searches / wall if wall > 0 else 0.0,
+            ingest_docs_per_s=ingests / wall if wall > 0 else 0.0,
+            ingest_mb_per_s=(
+                ingest_bytes / (1024.0 * 1024.0) / wall if wall > 0 else 0.0
+            ),
+            ingest_bytes=ingest_bytes,
+            shards=getattr(self.engine, "num_shards", 1),
+            search_latency=LatencyRecorder.merged(
+                search_recorders, seed=cfg.seed
+            ).summary(),
+            ingest_latency=LatencyRecorder.merged(
+                ingest_recorders, seed=cfg.seed
+            ).summary(),
+            error_messages=errors,
+        )
+
+
+def run_load_test(
+    engine, config: Optional[LoadTestConfig] = None, *, preload: bool = True
+) -> LoadTestResult:
+    """One-call convenience: build a harness for ``engine`` and run it."""
+    return LoadTestHarness(engine, config, preload=preload).run()

@@ -1,0 +1,216 @@
+"""Thread-safe latency recording with deterministic percentiles.
+
+:class:`LatencyRecorder` keeps a bounded reservoir of observations
+(Vitter's Algorithm R) so a multi-hour run records in O(capacity)
+memory, while short runs — anything that fits the reservoir — keep
+*every* sample and report exact percentiles.  Two properties the test
+suite enforces:
+
+* **determinism**: given the same observation sequence and seed, the
+  reservoir (and therefore every percentile) is identical run to run;
+* **mergeability**: merging per-client recorders whose combined sample
+  count fits the capacity equals one global recorder fed the union —
+  so per-thread recording (no shared lock on the hot path beyond each
+  recorder's own) loses nothing.
+
+Percentiles use the nearest-rank definition on the sorted reservoir,
+which is exact for retained samples and never interpolates values that
+were not observed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of one recorder (latencies in seconds)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    def to_dict(self, *, scale: float = 1000.0) -> Dict[str, float]:
+        """JSON-friendly dict; ``scale`` converts seconds (default: to ms)."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * scale,
+            "min_ms": self.minimum * scale,
+            "max_ms": self.maximum * scale,
+            "p50_ms": self.p50 * scale,
+            "p95_ms": self.p95 * scale,
+            "p99_ms": self.p99 * scale,
+        }
+
+
+_EMPTY_SUMMARY = LatencySummary(
+    count=0, mean=0.0, minimum=0.0, maximum=0.0, p50=0.0, p95=0.0, p99=0.0
+)
+
+
+def _nearest_rank(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sample list (0 if empty)."""
+    if not sorted_samples:
+        return 0.0
+    if q == 0:
+        return sorted_samples[0]
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_samples)))
+    return sorted_samples[min(rank, len(sorted_samples)) - 1]
+
+
+class LatencyRecorder:
+    """Bounded-memory, thread-safe reservoir of latency observations.
+
+    Parameters
+    ----------
+    capacity:
+        Reservoir size.  Runs recording at most ``capacity`` samples
+        report exact percentiles; beyond that the reservoir is a
+        uniform random sample (Algorithm R) and percentiles are
+        estimates.
+    seed:
+        Seeds the (per-recorder) replacement RNG, making the reservoir
+        deterministic for a fixed observation sequence.
+    """
+
+    def __init__(self, capacity: int = 50_000, *, seed: int = 0):
+        if capacity <= 0:
+            raise WorkloadError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        """Record one latency observation (in seconds)."""
+        if seconds < 0:
+            raise WorkloadError(f"latency must be non-negative, got {seconds}")
+        with self._lock:
+            self._count += 1
+            self._sum += seconds
+            if self._min is None or seconds < self._min:
+                self._min = seconds
+            if self._max is None or seconds > self._max:
+                self._max = seconds
+            if len(self._samples) < self.capacity:
+                self._samples.append(seconds)
+            else:
+                # Algorithm R: keep each of the n observations seen so
+                # far with probability capacity/n.
+                slot = self._rng.randrange(self._count)
+                if slot < self.capacity:
+                    self._samples[slot] = seconds
+
+    def record_many(self, latencies: Iterable[float]) -> None:
+        """Record a batch of observations (test/calibration convenience)."""
+        for value in latencies:
+            self.record(value)
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold ``other``'s observations into this recorder.
+
+        When the combined retained samples fit this recorder's capacity
+        the merge is exact (the reservoirs are unions); otherwise the
+        overflow is down-sampled deterministically under this
+        recorder's seed.
+        """
+        with other._lock:
+            other_samples = list(other._samples)
+            other_count = other._count
+            other_sum = other._sum
+            other_min = other._min
+            other_max = other._max
+        with self._lock:
+            self._count += other_count
+            self._sum += other_sum
+            if other_min is not None and (self._min is None or other_min < self._min):
+                self._min = other_min
+            if other_max is not None and (self._max is None or other_max > self._max):
+                self._max = other_max
+            combined = self._samples + other_samples
+            if len(combined) <= self.capacity:
+                self._samples = combined
+            else:
+                rng = random.Random(self.seed)
+                self._samples = rng.sample(combined, self.capacity)
+
+    @classmethod
+    def merged(
+        cls,
+        recorders: Sequence["LatencyRecorder"],
+        *,
+        capacity: Optional[int] = None,
+        seed: int = 0,
+    ) -> "LatencyRecorder":
+        """One recorder holding the union of ``recorders``."""
+        if capacity is None:
+            capacity = max((r.capacity for r in recorders), default=50_000)
+        out = cls(capacity, seed=seed)
+        for recorder in recorders:
+            out.merge(recorder)
+        return out
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total observations recorded (not just those retained)."""
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile ``q`` in [0, 100] over the reservoir."""
+        if not 0 <= q <= 100:
+            raise WorkloadError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            samples = sorted(self._samples)
+        return _nearest_rank(samples, q)
+
+    def summary(self) -> LatencySummary:
+        """Count, mean, min/max, and p50/p95/p99 of everything recorded."""
+        with self._lock:
+            if self._count == 0:
+                return _EMPTY_SUMMARY
+            samples = sorted(self._samples)
+            count = self._count
+            mean = self._sum / self._count
+            minimum = self._min if self._min is not None else 0.0
+            maximum = self._max if self._max is not None else 0.0
+        return LatencySummary(
+            count=count,
+            mean=mean,
+            minimum=minimum,
+            maximum=maximum,
+            p50=_nearest_rank(samples, 50),
+            p95=_nearest_rank(samples, 95),
+            p99=_nearest_rank(samples, 99),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyRecorder(count={self.count}, "
+            f"capacity={self.capacity}, seed={self.seed})"
+        )

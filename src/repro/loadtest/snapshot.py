@@ -1,0 +1,99 @@
+"""The ``BENCH_LOADTEST.json`` snapshot format.
+
+One snapshot is the machine-readable record of one load-test run,
+committed at the repo root per PR so the whole-system throughput/latency
+trajectory is visible in review.  The layout is schema-versioned
+(``repro-loadtest/v1``) so :mod:`repro.loadtest.compare` and the
+capacity model can refuse inputs they do not understand instead of
+misreading them.
+
+Layout::
+
+    {
+      "schema": "repro-loadtest/v1",
+      "seed": 42,
+      "config": { clients, duration, mix, arrival_rate, ... },
+      "metrics": {
+        "qps": ..., "error_rate": ..., "ingest_mb_per_s": ...,
+        "latency_ms": {"search": {"p50_ms": ..., ...}, "ingest": {...}},
+        ...
+      }
+    }
+
+Wall-clock numbers inside ``metrics`` vary run to run; the committed
+snapshot is compared under the tolerance bands documented in
+``docs/LOADTEST.md``, never byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.errors import WorkloadError
+
+#: Version tag every snapshot carries.
+SNAPSHOT_SCHEMA = "repro-loadtest/v1"
+
+
+def snapshot_document(result) -> Dict[str, object]:
+    """Build the snapshot dict for a
+    :class:`~repro.loadtest.harness.LoadTestResult`."""
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "seed": result.config.seed,
+        "config": result.config.to_dict(),
+        "metrics": result.to_dict(),
+    }
+
+
+def write_snapshot(result, path: str) -> Dict[str, object]:
+    """Serialize ``result`` to ``path``; returns the written document.
+
+    Keys are sorted and the file ends in a newline so regenerating an
+    identical measurement produces an identical file.
+    """
+    document = snapshot_document(result)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def read_snapshot(path: str) -> Dict[str, object]:
+    """Load and schema-check a snapshot file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise WorkloadError(f"cannot read snapshot '{path}': {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(
+            f"snapshot '{path}' is not valid JSON: {exc}"
+        ) from exc
+    return validate_snapshot(document, source=path)
+
+
+def validate_snapshot(
+    document: Dict[str, object], *, source: Optional[str] = None
+) -> Dict[str, object]:
+    """Check the schema tag and required sections of a snapshot dict."""
+    where = f" '{source}'" if source else ""
+    if not isinstance(document, dict):
+        raise WorkloadError(f"snapshot{where} must be a JSON object")
+    schema = document.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise WorkloadError(
+            f"snapshot{where} has schema {schema!r}; expected "
+            f"{SNAPSHOT_SCHEMA!r}"
+        )
+    for section in ("config", "metrics"):
+        if not isinstance(document.get(section), dict):
+            raise WorkloadError(f"snapshot{where} is missing '{section}'")
+    metrics = document["metrics"]
+    latency = metrics.get("latency_ms")
+    if not isinstance(latency, dict) or "search" not in latency:
+        raise WorkloadError(
+            f"snapshot{where} is missing 'metrics.latency_ms.search'"
+        )
+    return document

@@ -8,10 +8,12 @@ journal, and fault-injection layers' existing counters.
 """
 
 from repro.observability.adapters import (
+    counter_value,
     engine_metrics,
     export_archive,
     export_faults,
     export_journal,
+    export_loadtest,
     export_read_cache,
     export_store,
     metrics_document,
@@ -39,10 +41,12 @@ __all__ = [
     "NullMetricsRegistry",
     "QueryTrace",
     "Span",
+    "counter_value",
     "engine_metrics",
     "export_archive",
     "export_faults",
     "export_journal",
+    "export_loadtest",
     "export_read_cache",
     "export_store",
     "metrics_document",

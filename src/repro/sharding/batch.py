@@ -67,6 +67,10 @@ class BatchIngestor:
                 "repro_ingest_batch_documents_total",
                 "Documents ingested through the batch path",
             )
+            self._c_bytes = metrics.counter(
+                "repro_ingest_bytes_total",
+                "UTF-8 bytes of document text ingested through the batch path",
+            )
             self._g_pending = metrics.gauge(
                 "repro_ingest_pending_documents",
                 "Documents buffered but not yet flushed",
@@ -113,6 +117,7 @@ class BatchIngestor:
         if self._metrics_on:
             self._c_batches.inc()
             self._c_batch_docs.inc(len(texts))
+            self._c_bytes.inc(sum(len(text.encode("utf-8")) for text in texts))
         return [assignment.global_id for assignment in assignments]
 
     # ------------------------------------------------------------------

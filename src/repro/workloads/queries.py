@@ -86,6 +86,16 @@ class SyntheticQuery:
         """Number of keywords in the query."""
         return len(self.term_ids)
 
+    def text(self, vocabulary) -> str:
+        """Render the query as a space-joined keyword string.
+
+        The string form the search engine's query parser accepts;
+        ``vocabulary`` is the :class:`~repro.workloads.vocabulary.
+        Vocabulary` the corpus was rendered with, so generated queries
+        hit the same term universe as the indexed documents.
+        """
+        return " ".join(vocabulary.word(int(t)) for t in self.term_ids)
+
 
 class QueryLogGenerator:
     """Streaming generator of :class:`SyntheticQuery` objects."""

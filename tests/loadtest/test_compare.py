@@ -1,0 +1,214 @@
+"""Snapshot comparison: tolerance bands, config drift, CLI exit codes."""
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.loadtest.compare import (
+    DEFAULT_BANDS,
+    ToleranceBand,
+    compare_snapshots,
+    main,
+    parse_band_override,
+)
+from repro.loadtest.snapshot import SNAPSHOT_SCHEMA
+
+
+def make_snapshot(**overrides):
+    """A minimal but complete repro-loadtest/v1 document."""
+    metrics = {
+        "qps": 1000.0,
+        "ingest_docs_per_s": 100.0,
+        "ingest_mb_per_s": 1.5,
+        "error_rate": 0.0,
+        "operations": 5000,
+        "shards": 2,
+        "latency_ms": {
+            "search": {
+                "count": 4500,
+                "mean_ms": 1.0,
+                "p50_ms": 0.8,
+                "p95_ms": 2.0,
+                "p99_ms": 4.0,
+            },
+            "ingest": {
+                "count": 500,
+                "mean_ms": 3.0,
+                "p50_ms": 2.5,
+                "p99_ms": 8.0,
+            },
+        },
+    }
+    metrics.update(overrides)
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "seed": 42,
+        "config": {
+            "seed": 42,
+            "clients": 4,
+            "mix": 0.9,
+            "duration": 5.0,
+            "arrival_rate": None,
+        },
+        "metrics": metrics,
+    }
+
+
+class TestBand:
+    def test_within_band_is_none(self):
+        band = ToleranceBand(min_ratio=0.5)
+        assert band.check("qps", 1000.0, 900.0) is None
+        assert band.check("qps", 1000.0, 2000.0) is None
+
+    def test_throughput_floor(self):
+        band = ToleranceBand(min_ratio=0.5)
+        message = band.check("qps", 1000.0, 400.0)
+        assert message is not None and "floor" in message
+
+    def test_latency_ceiling(self):
+        band = ToleranceBand(max_ratio=4.0, higher_is_better=False)
+        assert band.check("p99", 1.0, 3.9) is None
+        message = band.check("p99", 1.0, 4.1)
+        assert message is not None and "ceiling" in message
+
+    def test_absolute_ceiling_wins_over_zero_baseline(self):
+        band = ToleranceBand(max_abs=0.001, higher_is_better=False)
+        assert band.check("error_rate", 0.0, 0.0) is None
+        assert band.check("error_rate", 0.0, 0.01) is not None
+
+    def test_zero_baseline_without_abs_is_unguarded(self):
+        band = ToleranceBand(min_ratio=0.5)
+        assert band.check("qps", 0.0, 123.0) is None
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self):
+        violations, report = compare_snapshots(make_snapshot(), make_snapshot())
+        assert violations == []
+        assert any(line.startswith("OK") for line in report)
+
+    def test_small_jitter_passes(self):
+        fresh = make_snapshot(qps=700.0)  # 0.7x: inside the 0.4x floor
+        violations, _ = compare_snapshots(make_snapshot(), fresh)
+        assert violations == []
+
+    def test_qps_collapse_fails(self):
+        fresh = make_snapshot(qps=100.0)  # 0.1x
+        violations, _ = compare_snapshots(make_snapshot(), fresh)
+        assert any("qps" in v for v in violations)
+
+    def test_latency_blowup_fails(self):
+        fresh = make_snapshot()
+        fresh["metrics"]["latency_ms"]["search"]["p99_ms"] = 40.0  # 10x
+        violations, _ = compare_snapshots(make_snapshot(), fresh)
+        assert any("p99_ms" in v for v in violations)
+
+    def test_error_rate_fails_absolutely(self):
+        fresh = make_snapshot(error_rate=0.05)
+        violations, _ = compare_snapshots(make_snapshot(), fresh)
+        assert any("error_rate" in v for v in violations)
+
+    def test_config_drift_is_a_violation(self):
+        fresh = make_snapshot()
+        fresh["config"]["seed"] = 7
+        violations, _ = compare_snapshots(make_snapshot(), fresh)
+        assert any("config.seed" in v for v in violations)
+
+    def test_missing_fresh_metric_is_a_violation(self):
+        fresh = make_snapshot()
+        del fresh["metrics"]["qps"]
+        violations, _ = compare_snapshots(make_snapshot(), fresh)
+        assert any("missing from the fresh" in v for v in violations)
+
+    def test_missing_baseline_metric_is_skipped(self):
+        baseline = make_snapshot()
+        del baseline["metrics"]["ingest_mb_per_s"]
+        violations, report = compare_snapshots(baseline, make_snapshot())
+        assert violations == []
+        assert any(line.startswith("SKIP") for line in report)
+
+    def test_custom_bands_override_defaults(self):
+        fresh = make_snapshot(qps=700.0)  # passes defaults (0.4x floor)
+        bands = dict(DEFAULT_BANDS)
+        bands["qps"] = ToleranceBand(min_ratio=0.9)
+        violations, _ = compare_snapshots(make_snapshot(), fresh, bands=bands)
+        assert any("qps" in v for v in violations)
+
+    def test_all_default_bands_checked(self):
+        _, report = compare_snapshots(make_snapshot(), make_snapshot())
+        assert len(report) == len(DEFAULT_BANDS)
+
+    def test_compare_does_not_mutate_inputs(self):
+        baseline, fresh = make_snapshot(), make_snapshot(qps=100.0)
+        base_copy = copy.deepcopy(baseline)
+        fresh_copy = copy.deepcopy(fresh)
+        compare_snapshots(baseline, fresh)
+        assert baseline == base_copy and fresh == fresh_copy
+
+
+class TestBandOverrides:
+    def test_throughput_override_becomes_floor(self):
+        metric, band = parse_band_override("qps=0.8")
+        assert metric == "qps"
+        assert band.min_ratio == 0.8 and band.max_ratio is None
+
+    def test_latency_override_becomes_ceiling(self):
+        metric, band = parse_band_override("latency_ms.search.p99_ms=2.0")
+        assert band.max_ratio == 2.0 and band.min_ratio is None
+
+    def test_unknown_metric_defaults_to_ceiling(self):
+        _, band = parse_band_override("latency_ms.search.max_ms=3.0")
+        assert band.max_ratio == 3.0
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(WorkloadError):
+            parse_band_override("qps")
+        with pytest.raises(WorkloadError):
+            parse_band_override("qps=fast")
+        with pytest.raises(WorkloadError):
+            parse_band_override("qps=-1")
+
+
+class TestMain:
+    def write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document) + "\n")
+        return str(path)
+
+    def test_exit_zero_when_within_bands(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "base.json", make_snapshot())
+        fresh = self.write(tmp_path, "fresh.json", make_snapshot(qps=900.0))
+        assert main([baseline, fresh]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "base.json", make_snapshot())
+        fresh = self.write(tmp_path, "fresh.json", make_snapshot(qps=100.0))
+        assert main([baseline, fresh]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_file(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "base.json", make_snapshot())
+        assert main([baseline, str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_exit_two_on_wrong_schema(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "base.json", make_snapshot())
+        bad = make_snapshot()
+        bad["schema"] = "repro-loadtest/v999"
+        fresh = self.write(tmp_path, "fresh.json", bad)
+        assert main([baseline, fresh]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_exit_two_on_bad_band_spec(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "base.json", make_snapshot())
+        fresh = self.write(tmp_path, "fresh.json", make_snapshot())
+        assert main([baseline, fresh, "--band", "qps=banana"]) == 2
+
+    def test_band_override_changes_the_verdict(self, tmp_path):
+        baseline = self.write(tmp_path, "base.json", make_snapshot())
+        fresh = self.write(tmp_path, "fresh.json", make_snapshot(qps=700.0))
+        assert main([baseline, fresh]) == 0
+        assert main([baseline, fresh, "--band", "qps=0.9"]) == 1

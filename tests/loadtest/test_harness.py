@@ -1,0 +1,217 @@
+"""The load harness: deterministic plans, both loop modes, snapshots."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.loadtest import (
+    LoadTestConfig,
+    LoadTestHarness,
+    run_load_test,
+)
+from repro.loadtest.snapshot import (
+    SNAPSHOT_SCHEMA,
+    read_snapshot,
+    snapshot_document,
+    validate_snapshot,
+    write_snapshot,
+)
+from repro.observability import counter_value, export_loadtest
+from repro.search.engine import EngineConfig
+from repro.sharding.engine import ShardedSearchEngine
+
+#: Small-and-fast engine shape shared by every harness test.
+ENGINE_CONFIG = EngineConfig(num_lists=64, block_size=4096, branching=None)
+
+#: A quick run: big enough to exercise both op kinds, small enough for CI.
+QUICK = dict(
+    clients=2,
+    duration=0.4,
+    preload_docs=30,
+    ingest_pool=30,
+    vocabulary_size=300,
+    plan_ops_per_client=200,
+)
+
+
+@pytest.fixture()
+def engine():
+    sharded = ShardedSearchEngine(ENGINE_CONFIG, num_shards=2)
+    yield sharded
+    sharded.close()
+
+
+class TestConfigValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(WorkloadError):
+            LoadTestConfig(clients=0)
+        with pytest.raises(WorkloadError):
+            LoadTestConfig(duration=0)
+        with pytest.raises(WorkloadError):
+            LoadTestConfig(mix=1.5)
+        with pytest.raises(WorkloadError):
+            LoadTestConfig(arrival_rate=-1)
+        with pytest.raises(WorkloadError):
+            LoadTestConfig(preload_docs=0)
+        with pytest.raises(WorkloadError):
+            LoadTestConfig(drift_stride=-1)
+
+    def test_to_dict_round_trips_the_workload_knobs(self):
+        cfg = LoadTestConfig(clients=3, mix=0.5, seed=9)
+        doc = cfg.to_dict()
+        assert doc["clients"] == 3
+        assert doc["mix"] == 0.5
+        assert doc["seed"] == 9
+
+
+class TestPlan:
+    def test_plan_is_deterministic_under_seed(self, engine):
+        cfg = LoadTestConfig(seed=5, **QUICK)
+        plan_a = LoadTestHarness(engine, cfg).build_plan()
+        plan_b = LoadTestHarness(engine, cfg).build_plan()
+        assert plan_a == plan_b
+
+    def test_plan_changes_with_seed(self, engine):
+        a = LoadTestHarness(engine, LoadTestConfig(seed=1, **QUICK)).build_plan()
+        b = LoadTestHarness(engine, LoadTestConfig(seed=2, **QUICK)).build_plan()
+        assert a != b
+
+    def test_mix_shapes_op_kinds(self, engine):
+        all_search = LoadTestHarness(
+            engine, LoadTestConfig(mix=1.0, **QUICK)
+        ).build_plan()
+        assert all(
+            op.kind == "search" for ops in all_search for op in ops
+        )
+        all_ingest = LoadTestHarness(
+            engine, LoadTestConfig(mix=0.0, **QUICK)
+        ).build_plan()
+        assert all(
+            op.kind == "ingest" for ops in all_ingest for op in ops
+        )
+
+    def test_drift_plan_differs_from_stable(self, engine):
+        stable = LoadTestHarness(
+            engine, LoadTestConfig(**QUICK)
+        ).build_plan()
+        drifting = LoadTestHarness(
+            engine, LoadTestConfig(drift_stride=5, **QUICK)
+        ).build_plan()
+        assert stable != drifting
+
+
+class TestRun:
+    def test_closed_loop_run(self, engine):
+        result = run_load_test(engine, LoadTestConfig(**QUICK))
+        assert result.mode == "closed"
+        assert result.errors == 0
+        assert result.searches > 0
+        assert result.ingests > 0
+        assert result.operations == result.searches + result.ingests
+        assert result.qps > 0
+        assert result.shards == 2
+        assert result.search_latency.count == result.searches
+        assert result.ingest_latency.count == result.ingests
+        assert (
+            result.search_latency.p50
+            <= result.search_latency.p95
+            <= result.search_latency.p99
+        )
+
+    def test_open_loop_run(self, engine):
+        result = run_load_test(
+            engine, LoadTestConfig(arrival_rate=100.0, **QUICK)
+        )
+        assert result.mode == "open"
+        assert result.errors == 0
+        # An open loop at 100 ops/s for 0.4s issues roughly 40 ops, not
+        # thousands: the schedule, not the engine, set the pace.
+        assert result.operations < 200
+
+    def test_ingest_bytes_pulled_from_metrics_registry(self, engine):
+        result = run_load_test(engine, LoadTestConfig(mix=0.5, **QUICK))
+        assert result.ingests > 0
+        assert result.ingest_bytes > 0
+        assert result.ingest_mb_per_s > 0
+        # The preload also flows through the metered batch path, so the
+        # registry total is at least what the timed run ingested.
+        total = counter_value(engine.metrics, "repro_ingest_bytes_total")
+        assert total is not None and total >= result.ingest_bytes
+
+    def test_searches_match_corpus_vocabulary(self, engine):
+        """Zipfian queries actually hit the preloaded corpus."""
+        harness = LoadTestHarness(engine, LoadTestConfig(mix=1.0, **QUICK))
+        harness.preload()
+        queries = [op.payload for op in harness.build_plan()[0][:50]]
+        hits = sum(
+            1 for q in queries if engine.search(q, top_k=3)
+        )
+        assert hits > len(queries) // 2
+
+    def test_result_to_dict_has_the_banded_metrics(self, engine):
+        result = run_load_test(engine, LoadTestConfig(**QUICK))
+        doc = result.to_dict()
+        for key in (
+            "qps",
+            "error_rate",
+            "ingest_mb_per_s",
+            "ingest_docs_per_s",
+            "shards",
+        ):
+            assert key in doc
+        assert "p99_ms" in doc["latency_ms"]["search"]
+        assert "p99_ms" in doc["latency_ms"]["ingest"]
+
+
+class TestSnapshot:
+    def test_write_read_round_trip(self, engine, tmp_path):
+        result = run_load_test(engine, LoadTestConfig(**QUICK))
+        path = str(tmp_path / "BENCH_LOADTEST.json")
+        written = write_snapshot(result, path)
+        loaded = read_snapshot(path)
+        assert loaded == written
+        assert loaded["schema"] == SNAPSHOT_SCHEMA
+        assert loaded["seed"] == result.config.seed
+        assert loaded["metrics"]["qps"] == result.qps
+
+    def test_validate_rejects_wrong_schema(self):
+        with pytest.raises(WorkloadError):
+            validate_snapshot({"schema": "repro-metrics/v1"})
+        with pytest.raises(WorkloadError):
+            validate_snapshot({"schema": SNAPSHOT_SCHEMA})  # no sections
+        with pytest.raises(WorkloadError):
+            validate_snapshot(
+                {
+                    "schema": SNAPSHOT_SCHEMA,
+                    "config": {},
+                    "metrics": {"latency_ms": {}},
+                }
+            )
+
+    def test_read_rejects_missing_and_malformed_files(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            read_snapshot(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json {")
+        with pytest.raises(WorkloadError):
+            read_snapshot(str(bad))
+
+    def test_export_loadtest_gauges(self, engine):
+        result = run_load_test(engine, LoadTestConfig(**QUICK))
+        export_loadtest(engine.metrics, result, run="quick")
+        assert counter_value(
+            engine.metrics, "repro_loadtest_qps", run="quick"
+        ) == pytest.approx(result.qps)
+        assert (
+            counter_value(
+                engine.metrics, "repro_loadtest_search_p99_ms", run="quick"
+            )
+            is not None
+        )
+
+    def test_snapshot_document_matches_write(self, engine, tmp_path):
+        result = run_load_test(engine, LoadTestConfig(**QUICK))
+        path = tmp_path / "snap.json"
+        write_snapshot(result, str(path))
+        assert json.loads(path.read_text()) == snapshot_document(result)

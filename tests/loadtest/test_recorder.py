@@ -1,0 +1,191 @@
+"""LatencyRecorder: thread safety, determinism, and percentile laws.
+
+The two properties the harness design leans on (ISSUE 6):
+
+* percentiles are ordered: ``p50 <= p95 <= p99`` for any input;
+* merging per-client recorders is equivalent to one global recorder —
+  exactly, whenever the combined samples fit the reservoir.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.loadtest.recorder import LatencyRecorder
+
+latencies = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=32),
+    min_size=0,
+    max_size=200,
+)
+
+
+class TestBasics:
+    def test_empty_summary_is_zeroes(self):
+        summary = LatencyRecorder().summary()
+        assert summary.count == 0
+        assert summary.p50 == summary.p95 == summary.p99 == 0.0
+
+    def test_single_observation_is_every_percentile(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.25)
+        summary = recorder.summary()
+        assert summary.count == 1
+        assert summary.p50 == summary.p95 == summary.p99 == 0.25
+        assert summary.minimum == summary.maximum == 0.25
+
+    def test_percentiles_of_known_sequence(self):
+        recorder = LatencyRecorder()
+        recorder.record_many(i / 1000.0 for i in range(1, 101))
+        assert recorder.percentile(50) == pytest.approx(0.050)
+        assert recorder.percentile(95) == pytest.approx(0.095)
+        assert recorder.percentile(99) == pytest.approx(0.099)
+        assert recorder.percentile(100) == pytest.approx(0.100)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(WorkloadError):
+            LatencyRecorder(0)
+        with pytest.raises(WorkloadError):
+            LatencyRecorder().record(-0.1)
+        with pytest.raises(WorkloadError):
+            LatencyRecorder().percentile(101)
+
+    def test_summary_to_dict_converts_to_ms(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.5)
+        doc = recorder.summary().to_dict()
+        assert doc["p50_ms"] == pytest.approx(500.0)
+        assert doc["count"] == 1
+
+
+class TestReservoir:
+    def test_count_tracks_all_observations_beyond_capacity(self):
+        recorder = LatencyRecorder(capacity=10, seed=3)
+        recorder.record_many(i / 100.0 for i in range(100))
+        assert recorder.count == 100
+        summary = recorder.summary()
+        assert summary.count == 100
+        # Mean/min/max are exact even when the reservoir downsamples.
+        assert summary.minimum == 0.0
+        assert summary.maximum == pytest.approx(0.99)
+        assert summary.mean == pytest.approx(sum(range(100)) / 100 / 100.0)
+
+    def test_deterministic_under_seed(self):
+        def build():
+            recorder = LatencyRecorder(capacity=16, seed=7)
+            recorder.record_many(((i * 37) % 100) / 100.0 for i in range(500))
+            return recorder.summary()
+
+        assert build() == build()
+
+    def test_different_seeds_may_retain_different_samples(self):
+        def reservoir(seed):
+            recorder = LatencyRecorder(capacity=8, seed=seed)
+            recorder.record_many(((i * 37) % 100) / 100.0 for i in range(500))
+            return sorted(recorder._samples)
+
+        distinct = {tuple(reservoir(seed)) for seed in range(8)}
+        assert len(distinct) > 1
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        recorder = LatencyRecorder(capacity=100_000, seed=0)
+        per_thread = 2_000
+        threads = [
+            threading.Thread(
+                target=lambda: recorder.record_many(
+                    [0.001] * per_thread
+                )
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.count == 8 * per_thread
+        assert len(recorder._samples) == 8 * per_thread
+        assert recorder.summary().mean == pytest.approx(0.001)
+
+    def test_concurrent_recording_with_overflow_keeps_capacity(self):
+        recorder = LatencyRecorder(capacity=64, seed=0)
+        threads = [
+            threading.Thread(
+                target=lambda: recorder.record_many([0.002] * 1_000)
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.count == 4_000
+        assert len(recorder._samples) == 64
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(latencies)
+    def test_percentiles_are_ordered(self, values):
+        recorder = LatencyRecorder(capacity=64, seed=1)
+        recorder.record_many(values)
+        summary = recorder.summary()
+        assert summary.p50 <= summary.p95 <= summary.p99
+        if values:
+            assert summary.minimum <= summary.p50
+            assert summary.p99 <= summary.maximum
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(latencies, min_size=1, max_size=6))
+    def test_merged_per_client_equals_global(self, per_client):
+        """Merging under-capacity recorders == one global recorder."""
+        total = sum(len(chunk) for chunk in per_client)
+        capacity = max(total, 1)
+        clients = []
+        for i, chunk in enumerate(per_client):
+            recorder = LatencyRecorder(capacity=capacity, seed=100 + i)
+            recorder.record_many(chunk)
+            clients.append(recorder)
+        merged = LatencyRecorder.merged(clients, capacity=capacity, seed=0)
+
+        global_recorder = LatencyRecorder(capacity=capacity, seed=0)
+        for chunk in per_client:
+            global_recorder.record_many(chunk)
+
+        ours = merged.summary()
+        theirs = global_recorder.summary()
+        assert ours.count == theirs.count
+        # Percentiles/min/max come from the identical retained sample
+        # set, so they match exactly; the mean is a float sum whose
+        # addition order differs between the two paths.
+        assert ours.minimum == theirs.minimum
+        assert ours.maximum == theirs.maximum
+        assert ours.p50 == theirs.p50
+        assert ours.p95 == theirs.p95
+        assert ours.p99 == theirs.p99
+        assert ours.mean == pytest.approx(theirs.mean, rel=1e-12, abs=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(latencies, min_size=1, max_size=4))
+    def test_merge_overflow_keeps_exact_aggregates(self, per_client):
+        """Even when merge downsamples, count/mean/min/max stay exact."""
+        flat = [v for chunk in per_client for v in chunk]
+        clients = []
+        for i, chunk in enumerate(per_client):
+            recorder = LatencyRecorder(capacity=max(1, len(chunk)), seed=i)
+            recorder.record_many(chunk)
+            clients.append(recorder)
+        merged = LatencyRecorder.merged(clients, capacity=5, seed=0)
+        assert merged.count == len(flat)
+        summary = merged.summary()
+        if flat:
+            assert summary.minimum == min(flat)
+            assert summary.maximum == max(flat)
+            assert summary.mean == pytest.approx(
+                sum(flat) / len(flat), rel=1e-9
+            )
+            assert summary.p50 <= summary.p95 <= summary.p99

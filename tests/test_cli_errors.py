@@ -138,3 +138,121 @@ class TestCacheHappyPathGuard:
             == 0
         )
         assert "imclone" in capsys.readouterr().out
+
+
+class TestLoadtestKnobs:
+    def test_zero_clients(self, capsys):
+        assert run("loadtest", "--clients", "0", "--duration", "1") == 2
+        assert "--clients must be >= 1" in capsys.readouterr().err
+
+    def test_zero_duration(self, capsys):
+        assert run("loadtest", "--duration", "0") == 2
+        assert "--duration must be positive" in capsys.readouterr().err
+
+    def test_mix_out_of_range(self, capsys):
+        assert run("loadtest", "--duration", "1", "--mix", "1.5") == 2
+        assert "--mix must be in [0, 1]" in capsys.readouterr().err
+
+    def test_zero_arrival_rate(self, capsys):
+        assert run("loadtest", "--duration", "1", "--arrival-rate", "0") == 2
+        assert "--arrival-rate must be positive" in capsys.readouterr().err
+
+    def test_zero_shards(self, capsys):
+        assert run("loadtest", "--duration", "1", "--shards", "0") == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_zero_docs(self, capsys):
+        assert run("loadtest", "--duration", "1", "--docs", "0") == 2
+        assert "--docs must be >= 1" in capsys.readouterr().err
+
+    def test_compare_missing_baseline(self, tmp_path, capsys):
+        missing = str(tmp_path / "no-baseline.json")
+        assert (
+            run(
+                "loadtest", "--duration", "0.2", "--clients", "2",
+                "--docs", "30", "--compare", missing,
+            )
+            == 2
+        )
+        assert "cannot read snapshot" in capsys.readouterr().err
+
+
+class TestLoadtestHappyPath:
+    def test_short_run_writes_a_snapshot(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_LOADTEST.json")
+        assert (
+            run(
+                "loadtest", "--seed", "42", "--duration", "0.2",
+                "--clients", "2", "--docs", "30", "--out", out,
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "load test (closed loop)" in captured.out
+        assert "qps" in captured.out
+        import json
+
+        document = json.loads(open(out).read())
+        assert document["schema"] == "repro-loadtest/v1"
+        assert document["seed"] == 42
+        assert document["metrics"]["errors"] == 0
+
+    def test_self_compare_passes(self, tmp_path, capsys):
+        out = str(tmp_path / "base.json")
+        argv = (
+            "loadtest", "--seed", "42", "--duration", "0.2",
+            "--clients", "2", "--docs", "30",
+        )
+        assert run(*argv, "--out", out) == 0
+        assert run(*argv, "--compare", out) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+
+class TestCapacityErrors:
+    def test_bad_targets(self, tmp_path, capsys):
+        snap = str(tmp_path / "snap.json")
+        assert (
+            run(
+                "capacity", "--snapshot", snap,
+                "--target-qps", "0", "--target-p99-ms", "10",
+            )
+            == 2
+        )
+        assert "--target-qps must be positive" in capsys.readouterr().err
+        assert (
+            run(
+                "capacity", "--snapshot", snap,
+                "--target-qps", "100", "--target-p99-ms", "-1",
+            )
+            == 2
+        )
+
+    def test_missing_snapshot(self, tmp_path, capsys):
+        assert (
+            run(
+                "capacity", "--snapshot", str(tmp_path / "nope.json"),
+                "--target-qps", "100", "--target-p99-ms", "10",
+            )
+            == 2
+        )
+        assert "cannot read snapshot" in capsys.readouterr().err
+
+    def test_happy_path_from_generated_snapshot(self, tmp_path, capsys):
+        snap = str(tmp_path / "snap.json")
+        assert (
+            run(
+                "loadtest", "--seed", "42", "--duration", "0.2",
+                "--clients", "2", "--docs", "30", "--out", snap,
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            run(
+                "capacity", "--snapshot", snap,
+                "--target-qps", "500", "--target-p99-ms", "20",
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "provision" in out and "shard(s)" in out
