@@ -16,9 +16,14 @@ Usage (also available as ``python -m repro``)::
     repro-search metrics --archive records.worm [--json out.json]
     repro-search profile --archive records.worm "+a +b +c" --query-file log.txt
     repro-search dispose --archive records.worm --now TIME
+                         [--fsync] [--group-commit N]
     repro-search verify-journal --archive records.worm
+    repro-search serve   --archive records.worm [--host H] [--port P]
+                         [--rate R] [--burst B] [--max-inflight N]
+                         [--max-queue Q] [--fsync] [--group-commit N]
     repro-search loadtest [--clients N] [--duration S] [--mix F]
                           [--arrival-rate R] [--seed S] [--shards K]
+                          [--endpoint http://HOST:PORT]
                           [--out BENCH_LOADTEST.json] [--compare BASELINE]
     repro-search capacity --snapshot BENCH_LOADTEST.json
                           --target-qps QPS --target-p99-ms MS
@@ -495,21 +500,34 @@ def _cmd_loadtest(args) -> int:
         preload_docs=args.docs,
         drift_stride=args.drift,
     )
-    # An ephemeral in-memory archive: the harness measures the engine,
-    # not a disk layout, and every run starts from the same state.
-    engine_config = EngineConfig(
-        num_lists=256, block_size=4096, branching=None
-    )
-    engine = ShardedSearchEngine(
-        engine_config,
-        num_shards=args.shards,
-        max_workers=args.workers,
-    )
-    try:
-        result = run_load_test(engine, config)
-        export_loadtest(engine.metrics, result)
-    finally:
-        engine.close()
+    if args.endpoint:
+        # Drive a running archive service over HTTP: same deterministic
+        # plan, but latency now includes the wire, admission control,
+        # and the service's own reader-writer serialisation.
+        from repro.loadtest.transport import HTTPTransport
+
+        transport = HTTPTransport(args.endpoint)
+        try:
+            result = run_load_test(transport, config)
+        finally:
+            transport.close()
+    else:
+        # An ephemeral in-memory archive: the harness measures the
+        # engine, not a disk layout, and every run starts from the same
+        # state.
+        engine_config = EngineConfig(
+            num_lists=256, block_size=4096, branching=None
+        )
+        engine = ShardedSearchEngine(
+            engine_config,
+            num_shards=args.shards,
+            max_workers=args.workers,
+        )
+        try:
+            result = run_load_test(engine, config)
+            export_loadtest(engine.metrics, result)
+        finally:
+            engine.close()
     print(result.summary())
     for message in result.error_messages:
         print(f"  error: {message}", file=sys.stderr)
@@ -556,7 +574,13 @@ def _cmd_capacity(args) -> int:
 
 
 def _cmd_dispose(args) -> int:
-    engine, archive = open_archive(args.archive)
+    # Disposition-log appends and WORM deletes are exactly the writes
+    # that must not be lost; honour the same durability knobs as index.
+    engine, archive = open_archive(
+        args.archive,
+        fsync=args.fsync,
+        group_commit=args.group_commit,
+    )
     try:
         disposed = engine.dispose_expired(now=args.now)
         if disposed:
@@ -566,6 +590,80 @@ def _cmd_dispose(args) -> int:
         return 0
     finally:
         archive.close()
+
+
+def _cmd_serve(args) -> int:
+    """Run the long-lived archive service until a signal drains it."""
+    import signal
+    import threading
+
+    from repro.service import AdmissionConfig, ServiceConfig, serve_archive
+
+    if not 0 <= args.port <= 65535:
+        print(f"--port must be in [0, 65535] (got {args.port})", file=sys.stderr)
+        return 2
+    if args.rate < 0:
+        print(f"--rate must be >= 0 (got {args.rate})", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        admission=AdmissionConfig(
+            rate=None if args.rate == 0 else args.rate,
+            burst=args.burst,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            queue_timeout=args.queue_timeout,
+        ),
+        request_timeout=args.request_timeout,
+        log_requests=args.log_requests,
+    )
+    try:
+        server = serve_archive(
+            args.archive,
+            host=args.host,
+            port=args.port,
+            config=config,
+            workers=args.workers,
+            fsync=args.fsync,
+            group_commit=args.group_commit,
+            read_cache=args.read_cache,
+            cache_policy=args.cache_policy,
+            cache_mb=args.cache_mb,
+        )
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    stop = threading.Event()
+
+    def _trigger_drain(_signum, _frame) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _trigger_drain)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    server.start()
+    rate = "off" if config.admission.rate is None else (
+        f"{config.admission.rate:g}/s (burst {config.admission.burst:g})"
+    )
+    print(
+        f"serving archive '{args.archive}' at {server.endpoint} — "
+        f"rate limit {rate}, inflight {config.admission.max_inflight}, "
+        f"queue {config.admission.max_queue}; SIGTERM drains"
+    )
+    sys.stdout.flush()
+    try:
+        while not stop.wait(timeout=0.2):
+            pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("draining: rejecting new work, finishing in-flight requests ...")
+    sys.stdout.flush()
+    server.drain()
+    print("drained: journals synced, archive closed")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -708,7 +806,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dispose.add_argument("--archive", required=True)
     dispose.add_argument("--now", type=int, required=True, help="current time")
+    dispose.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the journal(s) while disposing (disposition records "
+        "and WORM deletes are writes that must not be lost)",
+    )
+    dispose.add_argument(
+        "--group-commit", type=int, default=1,
+        help="with --fsync, records per fsync batch (default: 1 = fsync "
+        "every record; dispositions are few and precious)",
+    )
     dispose.set_defaults(func=_cmd_dispose)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the archive over HTTP (search/ingest/audit/metrics) "
+        "until drained by SIGTERM",
+    )
+    serve.add_argument("--archive", required=True)
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks a free one (default: 8080)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="query fan-out threads on a sharded archive (default: one "
+        "per shard)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=200.0,
+        help="per-tenant sustained requests/second; 0 disables rate "
+        "limiting (default: 200)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=400.0,
+        help="per-tenant burst allowance (default: 400)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="concurrent requests executing (default: 8)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="requests allowed to wait for a slot before 503 (default: 64)",
+    )
+    serve.add_argument(
+        "--queue-timeout", type=float, default=5.0,
+        help="longest a queued request waits before being shed (default: 5s)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=5.0,
+        help="socket read / keep-alive idle timeout (default: 5s)",
+    )
+    serve.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the journal(s) on ingest (durable but slower)",
+    )
+    serve.add_argument(
+        "--group-commit", type=int, default=64,
+        help="with --fsync, records per fsync batch (default: 64)",
+    )
+    serve.add_argument(
+        "--read-cache", action="store_true",
+        help="enable the read-path cache for the service session",
+    )
+    serve.add_argument(
+        "--cache-policy", choices=["lru", "2q", "slru"], default="lru",
+        help="read-cache eviction policy (default: lru)",
+    )
+    serve.add_argument(
+        "--cache-mb", type=float, default=8.0,
+        help="read-cache decoded-block budget in MB (default: 8)",
+    )
+    serve.add_argument(
+        "--log-requests", action="store_true",
+        help="echo one access-log line per request to stderr",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -753,6 +930,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--drift", type=int, default=0, metavar="STRIDE",
         help="rotate query popularity between epochs by STRIDE hot-pool "
         "ranks (default: 0 = stable popularity)",
+    )
+    loadtest.add_argument(
+        "--endpoint", default=None, metavar="URL",
+        help="drive a running 'repro-search serve' instance over HTTP "
+        "(e.g. http://127.0.0.1:8080) instead of an ephemeral "
+        "in-process engine; --shards/--workers are then ignored",
     )
     loadtest.add_argument(
         "--out", default=None, metavar="PATH",

@@ -59,6 +59,12 @@ class RetentionManager:
         self.log_name = log_name
         self._file = store.ensure_file(log_name)
         self._dispositions: Dict[int, Disposition] = {}
+        # Retention horizons learned during sweeps (doc_id -> horizon or
+        # None for permanent documents), so repeated sweeps over a large
+        # archive don't re-open every WORM file to re-read an unchanged
+        # horizon.  Session-scoped: horizons are immutable once a
+        # document commits, so the cache can never go stale.
+        self._horizons: Dict[int, Optional[int]] = {}
         if self._file.num_blocks:
             for disposition in self.dispositions():
                 self._dispositions[disposition.doc_id] = disposition
@@ -77,22 +83,33 @@ class RetentionManager:
         disposed in this pass.  Documents without a retention horizon
         (``retention_until is None``) are permanent and never disposed.
         """
+        missing = object()
         disposed: List[int] = []
         for doc_id in range(documents.next_doc_id):
-            if doc_id in self._dispositions or not documents.exists(doc_id):
+            if doc_id in self._dispositions:
                 continue
-            name = documents._file_name(doc_id)
-            worm_file = self.store.open_file(name)
-            horizon = worm_file.retention_until
+            horizon = self._horizons.get(doc_id, missing)
+            if horizon is missing:
+                # First time this sweep path sees the document: read its
+                # horizon once and remember it (horizons are committed
+                # with the record and never change).
+                if not documents.exists(doc_id):
+                    continue
+                name = documents.file_name(doc_id)
+                horizon = self.store.open_file(name).retention_until
+                self._horizons[doc_id] = horizon
             if horizon is None or now < horizon:
+                # Permanent, or not yet expired; later sweeps skip the
+                # WORM open entirely via the horizon cache.
                 continue
             # Log first, then delete: a crash between the two leaves a
             # disposition record for a still-present document, which a
             # re-run simply completes; the reverse order would leave an
             # unexplained dangling ID.
             self._log(doc_id, int(horizon), now)
-            self.store.device.delete_file(name, now=now)
+            self.store.device.delete_file(documents.file_name(doc_id), now=now)
             disposed.append(doc_id)
+            del self._horizons[doc_id]
         return disposed
 
     def _log(self, doc_id: int, retention_until: int, disposed_at: int) -> None:

@@ -30,15 +30,27 @@ from repro.loadtest.snapshot import (
     read_snapshot,
     write_snapshot,
 )
+from repro.loadtest.transport import (
+    HTTPTransport,
+    RateLimitedError,
+    ServiceClientError,
+    ServiceOverloadedError,
+    ServiceProtocolError,
+)
 
 __all__ = [
     "DEFAULT_BANDS",
+    "HTTPTransport",
     "LatencyRecorder",
     "LatencySummary",
     "LoadTestConfig",
     "LoadTestHarness",
     "LoadTestResult",
+    "RateLimitedError",
     "SNAPSHOT_SCHEMA",
+    "ServiceClientError",
+    "ServiceOverloadedError",
+    "ServiceProtocolError",
     "ToleranceBand",
     "compare_snapshots",
     "read_snapshot",

@@ -22,11 +22,17 @@ is generated up front and is fully deterministic under ``seed``; only
 the measured timings vary run to run.
 
 Concurrency model: searches run fully concurrent under a shared lock;
-ingest takes the exclusive side of a reader-writer lock, because the
-engine's append path (journal tail, lexicon, router clock) is
-single-writer by design.  That matches the production shape of a WORM
-archive — many investigators, one committing pipeline — and keeps the
-error rate structurally zero instead of racily small.
+ingest takes the exclusive side of a reader-writer lock
+(:class:`~repro.service.locks.ReadWriteLock` — the same discipline the
+archive service enforces), because the engine's append path (journal
+tail, lexicon, router clock) is single-writer by design.  That matches
+the production shape of a WORM archive — many investigators, one
+committing pipeline — and keeps the error rate structurally zero
+instead of racily small.  A target that already serialises its own
+writers (e.g. :class:`~repro.loadtest.transport.HTTPTransport` driving
+a running service) opts out by exposing ``needs_write_lock = False``;
+the harness then issues operations unlocked and lets the service's
+admission control do its job.
 
 Latency lands in per-client, per-kind :class:`~repro.loadtest.recorder.
 LatencyRecorder` reservoirs, merged after the run (the merge-equals-
@@ -41,12 +47,14 @@ from __future__ import annotations
 import random
 import threading
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import WorkloadError
 from repro.loadtest.recorder import LatencyRecorder, LatencySummary
 from repro.observability.adapters import counter_value
+from repro.service.locks import NullRequestLock, ReadWriteLock
 from repro.workloads.corpus import CorpusConfig, CorpusGenerator
 from repro.workloads.drift import DriftConfig, DriftingWorkload
 from repro.workloads.queries import QueryLogConfig, QueryLogGenerator
@@ -167,6 +175,9 @@ class LoadTestResult:
     search_latency: LatencySummary
     ingest_latency: LatencySummary
     error_messages: List[str] = field(default_factory=list)
+    #: Exception class name -> count, so a nonzero error rate in a CI
+    #: snapshot is diagnosable from the artifact alone.
+    error_classes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def error_rate(self) -> float:
@@ -183,6 +194,7 @@ class LoadTestResult:
             "ingests": self.ingests,
             "errors": self.errors,
             "error_rate": self.error_rate,
+            "errors_by_class": dict(sorted(self.error_classes.items())),
             "qps": self.qps,
             "ingest_docs_per_s": self.ingest_docs_per_s,
             "ingest_mb_per_s": self.ingest_mb_per_s,
@@ -210,6 +222,12 @@ class LoadTestResult:
             f"{self.ingest_mb_per_s:6.3f} MB/s   "
             f"p50 {i.p50 * 1000:7.2f} ms   p99 {i.p99 * 1000:7.2f} ms",
         ]
+        if self.error_classes:
+            breakdown = ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(self.error_classes.items())
+            )
+            lines.append(f"  errors      {breakdown}")
         return "\n".join(lines)
 
 
@@ -219,36 +237,6 @@ class _Op:
 
     kind: str  # "search" | "ingest"
     payload: str
-
-
-class _ReadWriteLock:
-    """Reader-writer lock: concurrent searches, exclusive ingest."""
-
-    def __init__(self) -> None:
-        self._mutex = threading.Lock()
-        self._readers_done = threading.Condition(self._mutex)
-        self._readers = 0
-        self._writer = threading.Lock()
-
-    def acquire_read(self) -> None:
-        with self._writer:  # queue behind any active/waiting writer
-            with self._mutex:
-                self._readers += 1
-
-    def release_read(self) -> None:
-        with self._mutex:
-            self._readers -= 1
-            if self._readers == 0:
-                self._readers_done.notify_all()
-
-    def acquire_write(self) -> None:
-        self._writer.acquire()
-        with self._mutex:
-            while self._readers:
-                self._readers_done.wait()
-
-    def release_write(self) -> None:
-        self._writer.release()
 
 
 class LoadTestHarness:
@@ -378,7 +366,12 @@ class LoadTestHarness:
         ingest_bytes_before = counter_value(
             getattr(self.engine, "metrics", None), INGEST_BYTES_COUNTER
         )
-        lock = _ReadWriteLock()
+        # Engines need the harness to serialise writers; a transport to
+        # a running service brings its own serialisation and opts out.
+        if getattr(self.engine, "needs_write_lock", True):
+            lock = ReadWriteLock()
+        else:
+            lock = NullRequestLock()
         search_recorders = [
             LatencyRecorder(cfg.recorder_capacity, seed=cfg.seed + i)
             for i in range(cfg.clients)
@@ -388,6 +381,7 @@ class LoadTestHarness:
             for i in range(cfg.clients)
         ]
         counts = [[0, 0, 0, 0] for _ in range(cfg.clients)]  # srch,ing,err,bytes
+        error_tallies = [Counter() for _ in range(cfg.clients)]
         errors: List[str] = []
         errors_lock = threading.Lock()
         start_barrier = threading.Barrier(cfg.clients + 1)
@@ -400,6 +394,7 @@ class LoadTestHarness:
             search_rec = search_recorders[client_id]
             ingest_rec = ingest_recorders[client_id]
             tally = counts[client_id]
+            error_tally = error_tallies[client_id]
             arrival_rng = random.Random((cfg.seed << 20) ^ (client_id + 1))
             start_barrier.wait()
             begin = time.perf_counter()
@@ -444,6 +439,7 @@ class LoadTestHarness:
                         tally[3] += len(op.payload.encode("utf-8"))
                 except Exception as exc:  # noqa: BLE001 - load test must survive
                     tally[2] += 1
+                    error_tally[type(exc).__name__] += 1
                     with errors_lock:
                         if len(errors) < 20:
                             errors.append(f"{op.kind}: {exc!r}")
@@ -495,6 +491,9 @@ class LoadTestHarness:
                 ingest_recorders, seed=cfg.seed
             ).summary(),
             error_messages=errors,
+            error_classes=dict(
+                sorted(sum(error_tallies, Counter()).items())
+            ),
         )
 
 

@@ -15,6 +15,7 @@ from repro.observability.adapters import (
     export_journal,
     export_loadtest,
     export_read_cache,
+    export_service,
     export_store,
     metrics_document,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "export_journal",
     "export_loadtest",
     "export_read_cache",
+    "export_service",
     "export_store",
     "metrics_document",
 ]

@@ -215,6 +215,34 @@ def export_loadtest(registry, result, *, run: str = "default") -> None:
         ).labels(run=run).set(value)
 
 
+def export_service(registry, service_stats: Dict[str, object]) -> None:
+    """Export the archive service's admission-control state as gauges.
+
+    ``service_stats`` is :meth:`repro.service.server.ArchiveService.stats`
+    — a plain dict, duck-typed so this module keeps importing no service
+    code.  Counters and latency histograms are registered live by the
+    service itself (they are events, not state); this adapter covers the
+    point-in-time side: queue depth, in-flight requests, tenant count,
+    drain flag, and uptime, refreshed at scrape time like every other
+    exporter here.
+    """
+    if not registry.enabled:
+        return
+    for key, help_text in (
+        ("queue_depth", "Requests waiting for an execution slot"),
+        ("inflight", "Requests currently executing"),
+        ("tenants", "Distinct tenants with a rate-limit bucket"),
+        ("draining", "Whether the service is draining (0/1)"),
+        ("uptime_seconds", "Seconds since the service opened its engine"),
+    ):
+        value = service_stats.get(key)
+        if value is None:
+            continue
+        registry.gauge(
+            f"repro_service_{key}", help_text
+        ).set(float(value))
+
+
 def export_archive(registry, archive_stats: Dict[str, object]) -> None:
     """Export the numeric fields of ``archive_stats()`` as gauges."""
     if not registry.enabled:

@@ -48,8 +48,18 @@ class DocumentStore:
         self._next_doc_id = 0
         self._commit_times: Dict[int, int] = {}
 
-    def _file_name(self, doc_id: int) -> str:
+    def file_name(self, doc_id: int) -> str:
+        """The WORM file name holding ``doc_id``'s committed bytes.
+
+        Public so collaborators that operate on the underlying WORM
+        files — the retention manager deleting an expired document, an
+        auditor opening the committed record — need not reach into the
+        store's naming scheme.
+        """
         return f"{self.prefix}/{doc_id:010d}"
+
+    # Backwards-compatible alias (pre-dates the public naming API).
+    _file_name = file_name
 
     def restore(self, next_doc_id: int, commit_times: Dict[int, int]) -> None:
         """Reattach to documents committed in a previous session.
@@ -87,7 +97,7 @@ class DocumentStore:
         retained forever).
         """
         doc_id = self._next_doc_id
-        name = self._file_name(doc_id)
+        name = self.file_name(doc_id)
         worm_file = self.store.device.create_file(
             name, retention_until=retention_until
         )
@@ -106,7 +116,7 @@ class DocumentStore:
     # ------------------------------------------------------------------
     def exists(self, doc_id: int) -> bool:
         """Whether ``doc_id`` refers to a committed document."""
-        return self.store.device.exists(self._file_name(doc_id))
+        return self.store.device.exists(self.file_name(doc_id))
 
     def get(self, doc_id: int) -> Document:
         """Fetch a committed document.
@@ -117,7 +127,7 @@ class DocumentStore:
             If no such document was committed — e.g. when a stuffed
             posting pointed at a fabricated ID.
         """
-        name = self._file_name(doc_id)
+        name = self.file_name(doc_id)
         worm_file = self.store.open_file(name)
         chunks = [self.store.peek_block(name, b) for b in range(worm_file.num_blocks)]
         payload = b"".join(chunks)

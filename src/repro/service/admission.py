@@ -1,0 +1,318 @@
+"""Admission control for the archive service: rate limits and backpressure.
+
+A regulatory archive is queried by many tenants (investigators,
+auditors, retention jobs) while records keep arriving; admission control
+is what keeps one tenant's burst from turning into everyone's latency.
+Two independent mechanisms compose here, checked in order:
+
+1. **Per-tenant token buckets** (:class:`TenantRateLimiter`) — each
+   tenant spends one token per request against a bucket refilled at
+   ``rate`` tokens/second up to ``burst``.  An empty bucket is a *429*
+   with a ``Retry-After`` hint computed from the refill rate: the
+   client is over its contract, and waiting is its problem.
+2. **A bounded execution gate** (:class:`AdmissionGate`) — at most
+   ``max_inflight`` requests execute concurrently; up to ``max_queue``
+   more may wait (bounded, so queueing delay stays bounded too); the
+   rest are rejected immediately with a *503*: the service is over
+   capacity, and shedding load beats collapsing under it.
+
+Both are stdlib-only, lock-protected, and independently testable
+without an HTTP server in sight.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class AdmissionError(ReproError):
+    """Invalid admission-control configuration."""
+
+
+class TokenBucket:
+    """One tenant's rate-limit state: tokens refilled continuously.
+
+    Parameters
+    ----------
+    rate:
+        Refill rate in tokens per second (must be positive).
+    burst:
+        Bucket capacity — the largest instantaneous burst allowed.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise AdmissionError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise AdmissionError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, cost: float = 1.0) -> Tuple[bool, float]:
+        """Spend ``cost`` tokens if available.
+
+        Returns ``(admitted, retry_after_seconds)``; ``retry_after`` is
+        ``0.0`` when admitted, otherwise the time until the bucket will
+        hold ``cost`` tokens again — the ``Retry-After`` hint.
+        """
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True, 0.0
+            return False, (cost - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (refreshed; for tests and metrics)."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            return self._tokens
+
+
+class TenantRateLimiter:
+    """Per-tenant token buckets under one shared rate contract.
+
+    Buckets are created on a tenant's first request.  ``max_tenants``
+    bounds the table so an adversary cycling tenant names cannot grow
+    it without limit; once full, unknown tenants share one overflow
+    bucket (they are collectively, not individually, rate limited —
+    the conservative failure mode).
+    """
+
+    #: Key of the shared bucket once the tenant table is full.
+    OVERFLOW = "\x00overflow"
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        max_tenants: int = 10_000,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_tenants < 1:
+            raise AdmissionError(
+                f"max_tenants must be >= 1, got {max_tenants}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_tenants = max_tenants
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        # Constructing one bucket up front validates rate/burst eagerly.
+        self._buckets[self.OVERFLOW] = TokenBucket(rate, burst, clock=clock)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            with self._lock:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    if len(self._buckets) > self.max_tenants:
+                        return self._buckets[self.OVERFLOW]
+                    bucket = TokenBucket(
+                        self.rate, self.burst, clock=self._clock
+                    )
+                    self._buckets[tenant] = bucket
+        return bucket
+
+    def try_acquire(self, tenant: str, cost: float = 1.0) -> Tuple[bool, float]:
+        """Spend against ``tenant``'s bucket; see :meth:`TokenBucket.try_acquire`."""
+        return self._bucket(tenant).try_acquire(cost)
+
+    def __len__(self) -> int:
+        return len(self._buckets) - 1  # the overflow bucket is not a tenant
+
+
+class AdmissionGate:
+    """Bounded concurrency with a bounded wait queue.
+
+    ``max_inflight`` requests execute at once; ``max_queue`` more may
+    wait up to ``queue_timeout`` seconds for a slot; anything beyond
+    that is rejected immediately.  :meth:`try_enter` returns whether the
+    caller may proceed — on ``True`` the caller *must* pair it with
+    :meth:`leave` (use :meth:`admitted` state for metrics).
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int,
+        *,
+        queue_timeout: float = 5.0,
+    ):
+        if max_inflight < 1:
+            raise AdmissionError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if max_queue < 0:
+            raise AdmissionError(f"max_queue must be >= 0, got {max_queue}")
+        if queue_timeout < 0:
+            raise AdmissionError(
+                f"queue_timeout must be >= 0, got {queue_timeout}"
+            )
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self._slots = threading.BoundedSemaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._inflight = 0
+
+    def try_enter(self) -> bool:
+        """Wait (bounded) for an execution slot; ``False`` = shed the load."""
+        # Fast path: a free slot means no queueing at all, so the queue
+        # bound only applies to requests that would actually wait
+        # (max_queue=0 still admits up to max_inflight requests).
+        if self._slots.acquire(blocking=False):
+            with self._lock:
+                self._inflight += 1
+            return True
+        with self._lock:
+            if self._queued >= self.max_queue:
+                return False
+            self._queued += 1
+        admitted = self._slots.acquire(timeout=self.queue_timeout)
+        with self._lock:
+            self._queued -= 1
+            if admitted:
+                self._inflight += 1
+        return admitted
+
+    def leave(self) -> None:
+        """Release the slot taken by a successful :meth:`try_enter`."""
+        with self._lock:
+            self._inflight -= 1
+        self._slots.release()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a slot."""
+        with self._lock:
+            return self._queued
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing."""
+        with self._lock:
+            return self._inflight
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """The service's admission-control contract.
+
+    Attributes
+    ----------
+    rate:
+        Per-tenant sustained request rate (tokens/second); ``None``
+        disables rate limiting entirely.
+    burst:
+        Per-tenant burst allowance (bucket capacity).
+    max_inflight:
+        Concurrent requests executing in the service.
+    max_queue:
+        Requests allowed to wait for an execution slot.
+    queue_timeout:
+        Longest a queued request waits before being shed (seconds).
+    """
+
+    rate: Optional[float] = 200.0
+    burst: float = 400.0
+    max_inflight: int = 8
+    max_queue: int = 64
+    queue_timeout: float = 5.0
+
+
+class AdmissionController:
+    """Rate limiter + gate behind one decision point.
+
+    :meth:`admit` makes the full admission decision for one request and
+    returns a :class:`Decision`; an admitted decision must be closed
+    with :meth:`release` (the server does this in a ``finally``).
+    """
+
+    #: Rejection reasons (stable strings — they label metrics series).
+    RATE_LIMITED = "rate_limit"
+    OVERLOADED = "overload"
+
+    def __init__(
+        self,
+        config: Optional[AdmissionConfig] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or AdmissionConfig()
+        self.limiter = (
+            None
+            if self.config.rate is None
+            else TenantRateLimiter(
+                self.config.rate, self.config.burst, clock=clock
+            )
+        )
+        self.gate = AdmissionGate(
+            self.config.max_inflight,
+            self.config.max_queue,
+            queue_timeout=self.config.queue_timeout,
+        )
+
+    def admit(self, tenant: str) -> "Decision":
+        """Decide one request: admitted, rate-limited, or shed."""
+        if self.limiter is not None:
+            ok, retry_after = self.limiter.try_acquire(tenant)
+            if not ok:
+                return Decision(
+                    admitted=False,
+                    reason=self.RATE_LIMITED,
+                    retry_after=retry_after,
+                )
+        if not self.gate.try_enter():
+            return Decision(
+                admitted=False,
+                reason=self.OVERLOADED,
+                retry_after=self.config.queue_timeout,
+            )
+        return Decision(admitted=True)
+
+    def release(self, decision: "Decision") -> None:
+        """Return the slot held by an admitted :class:`Decision`."""
+        if decision.admitted:
+            self.gate.leave()
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    #: ``None`` when admitted; otherwise a stable rejection label.
+    reason: Optional[str] = None
+    #: Suggested client wait (seconds) for rejected requests.
+    retry_after: float = 0.0

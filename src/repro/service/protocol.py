@@ -1,0 +1,160 @@
+"""JSON request/response schemas of the archive service.
+
+Every service endpoint speaks JSON with an explicit, versioned shape
+(``repro-service/v1``); this module is the single place that shape is
+defined, parsed, and validated, so the HTTP layer stays a thin router
+and handler unit tests can exercise schemas without a socket.
+
+Requests are parsed into frozen dataclasses; a malformed request raises
+:class:`SchemaError` with a message precise enough to fix the payload
+from the error alone.  Responses (including errors) are plain dicts the
+server serialises with sorted keys.
+
+Error shape::
+
+    {"error": {"code": "rate_limited", "message": "...", ...}}
+
+Stable error codes: ``bad_request``, ``not_found``, ``method_not_allowed``,
+``rate_limited``, ``overloaded``, ``draining``, ``tampering``,
+``internal``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Schema tag carried by every response body.
+PROTOCOL_SCHEMA = "repro-service/v1"
+
+#: Header naming the calling tenant (rate-limit accounting key).
+TENANT_HEADER = "X-Repro-Tenant"
+
+#: Tenant charged when the caller does not identify itself.
+DEFAULT_TENANT = "default"
+
+#: Upper bound on documents per ingest request (one bounded batch per
+#: exclusive-writer hold; bigger corpora arrive as multiple requests).
+MAX_INGEST_DOCUMENTS = 1_000
+
+#: Upper bound on ``top_k`` (a service must bound its own response size).
+MAX_TOP_K = 1_000
+
+
+class SchemaError(ReproError):
+    """A request body that does not match the endpoint's schema."""
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """Parsed body of ``POST /search`` (or query string of ``GET``)."""
+
+    query: str
+    top_k: int = 10
+    verify: bool = False
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """Parsed body of ``POST /ingest``."""
+
+    documents: List[str] = field(default_factory=list)
+    commit_times: Optional[List[int]] = None
+
+
+def _require_object(payload: object, endpoint: str) -> Dict[str, object]:
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"{endpoint}: request body must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _reject_unknown(
+    payload: Dict[str, object], allowed: Tuple[str, ...], endpoint: str
+) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise SchemaError(
+            f"{endpoint}: unknown field(s) {unknown}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def parse_search_request(payload: object) -> SearchRequest:
+    """Validate a ``/search`` body into a :class:`SearchRequest`."""
+    body = _require_object(payload, "/search")
+    _reject_unknown(body, ("query", "top_k", "verify"), "/search")
+    query = body.get("query")
+    if not isinstance(query, str) or not query.strip():
+        raise SchemaError("/search: 'query' must be a non-empty string")
+    top_k = body.get("top_k", 10)
+    if isinstance(top_k, bool) or not isinstance(top_k, int):
+        raise SchemaError(f"/search: 'top_k' must be an integer, got {top_k!r}")
+    if not 1 <= top_k <= MAX_TOP_K:
+        raise SchemaError(
+            f"/search: 'top_k' must be in [1, {MAX_TOP_K}], got {top_k}"
+        )
+    verify = body.get("verify", False)
+    if not isinstance(verify, bool):
+        raise SchemaError(
+            f"/search: 'verify' must be a boolean, got {verify!r}"
+        )
+    return SearchRequest(query=query, top_k=top_k, verify=verify)
+
+
+def parse_ingest_request(payload: object) -> IngestRequest:
+    """Validate an ``/ingest`` body into an :class:`IngestRequest`."""
+    body = _require_object(payload, "/ingest")
+    _reject_unknown(body, ("documents", "commit_times"), "/ingest")
+    documents = body.get("documents")
+    if not isinstance(documents, list) or not documents:
+        raise SchemaError(
+            "/ingest: 'documents' must be a non-empty list of strings"
+        )
+    if len(documents) > MAX_INGEST_DOCUMENTS:
+        raise SchemaError(
+            f"/ingest: at most {MAX_INGEST_DOCUMENTS} documents per "
+            f"request, got {len(documents)}"
+        )
+    for position, text in enumerate(documents):
+        if not isinstance(text, str):
+            raise SchemaError(
+                f"/ingest: documents[{position}] must be a string, "
+                f"got {type(text).__name__}"
+            )
+    commit_times = body.get("commit_times")
+    if commit_times is not None:
+        if not isinstance(commit_times, list) or any(
+            isinstance(t, bool) or not isinstance(t, int)
+            for t in commit_times
+        ):
+            raise SchemaError(
+                "/ingest: 'commit_times' must be a list of integers"
+            )
+        if len(commit_times) != len(documents):
+            raise SchemaError(
+                f"/ingest: got {len(documents)} documents but "
+                f"{len(commit_times)} commit_times"
+            )
+    return IngestRequest(
+        documents=list(documents),
+        commit_times=None if commit_times is None else list(commit_times),
+    )
+
+
+def error_payload(code: str, message: str, **extra: object) -> Dict[str, object]:
+    """The uniform error body every non-2xx response carries."""
+    error: Dict[str, object] = {"code": code, "message": message}
+    error.update(extra)
+    return {"schema": PROTOCOL_SCHEMA, "error": error}
+
+
+def ok_payload(**fields: object) -> Dict[str, object]:
+    """A 2xx body: the schema tag plus endpoint-specific fields."""
+    payload: Dict[str, object] = {"schema": PROTOCOL_SCHEMA}
+    payload.update(fields)
+    return payload

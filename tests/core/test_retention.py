@@ -96,3 +96,41 @@ class TestLogIntegrity:
         with pytest.raises(TamperDetectedError) as excinfo:
             list(manager.dispositions())
         assert excinfo.value.invariant == "retention-horizon"
+
+
+class TestSweepEfficiency:
+    """The sweep must not re-read WORM state it has already learned."""
+
+    def test_repeat_sweeps_reuse_cached_horizons(self, monkeypatch):
+        engine = make_engine(retention_period=100)
+        for i in range(5):
+            engine.index_document(f"record {i}", commit_time=i)
+        opens = []
+        original = engine.store.open_file
+        monkeypatch.setattr(
+            engine.store,
+            "open_file",
+            lambda name: (opens.append(name), original(name))[1],
+        )
+        assert engine.dispose_expired(now=10) == []
+        first_sweep = len(opens)
+        assert first_sweep == 5  # one horizon read per document
+        assert engine.dispose_expired(now=20) == []
+        assert len(opens) == first_sweep  # cache hit: no WORM re-opens
+
+    def test_disposed_ids_skipped_without_worm_reads(self, monkeypatch):
+        engine = make_engine(retention_period=5)
+        engine.index_document("old", commit_time=0)
+        assert engine.dispose_expired(now=100) == [0]
+
+        def explode(name):
+            raise AssertionError(f"sweep reopened {name}")
+
+        monkeypatch.setattr(engine.store, "open_file", explode)
+        assert engine.dispose_expired(now=200) == []
+
+    def test_public_file_name_matches_legacy_alias(self):
+        engine = make_engine()
+        doc_id = engine.index_document("named", commit_time=0)
+        store = engine.documents
+        assert store.file_name(doc_id) == store._file_name(doc_id)

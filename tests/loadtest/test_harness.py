@@ -215,3 +215,33 @@ class TestSnapshot:
         path = tmp_path / "snap.json"
         write_snapshot(result, str(path))
         assert json.loads(path.read_text()) == snapshot_document(result)
+
+
+class _FlakySearchEngine:
+    """Delegates everything but makes every search fail."""
+
+    def __init__(self, engine):
+        self._engine = engine
+
+    def search(self, query, top_k=10):
+        raise RuntimeError("query plane down")
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+
+class TestErrorAccounting:
+    def test_exception_classes_land_in_the_result(self, engine):
+        result = run_load_test(
+            _FlakySearchEngine(engine), LoadTestConfig(mix=1.0, **QUICK)
+        )
+        assert result.errors > 0
+        assert result.error_classes == {"RuntimeError": result.errors}
+        assert result.to_dict()["errors_by_class"] == result.error_classes
+        assert "RuntimeError" in result.summary()
+
+    def test_clean_run_reports_no_error_classes(self, engine):
+        result = run_load_test(engine, LoadTestConfig(**QUICK))
+        assert result.errors == 0
+        assert result.error_classes == {}
+        assert result.to_dict()["errors_by_class"] == {}

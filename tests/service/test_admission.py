@@ -1,0 +1,190 @@
+"""Unit tests for admission control: buckets, gates, and the controller.
+
+Everything here runs with an injected fake clock or real threads on
+tiny timeouts — no HTTP server, no engine.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionError,
+    AdmissionGate,
+    TenantRateLimiter,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_rejection_with_retry_hint(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        for _ in range(3):
+            admitted, retry_after = bucket.try_acquire()
+            assert admitted and retry_after == 0.0
+        admitted, retry_after = bucket.try_acquire()
+        assert not admitted
+        # Empty bucket at 2 tokens/s: one token is half a second away.
+        assert retry_after == pytest.approx(0.5)
+
+    def test_refill_readmits(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+        clock.advance(1.0)
+        assert bucket.try_acquire()[0]
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)  # an hour of idle refill is still just `burst`
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(AdmissionError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(AdmissionError):
+            TokenBucket(rate=1, burst=0.5)
+
+
+class TestTenantRateLimiter:
+    def test_tenants_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.try_acquire("alice")[0]
+        assert not limiter.try_acquire("alice")[0]
+        # Alice's exhaustion does not touch Bob's bucket.
+        assert limiter.try_acquire("bob")[0]
+        assert len(limiter) == 2
+
+    def test_overflow_bucket_shared_when_table_full(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(
+            rate=1.0, burst=1, max_tenants=1, clock=clock
+        )
+        assert limiter.try_acquire("alice")[0]  # gets the one real slot
+        assert limiter.try_acquire("mallory-1")[0]  # spends the overflow token
+        # A different unknown tenant shares the same (now empty) bucket:
+        # collectively rate limited, not individually.
+        assert not limiter.try_acquire("mallory-2")[0]
+        assert len(limiter) == 1
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(AdmissionError):
+            TenantRateLimiter(rate=1.0, burst=1, max_tenants=0)
+        with pytest.raises(AdmissionError):
+            TenantRateLimiter(rate=-1.0, burst=1)
+
+
+class TestAdmissionGate:
+    def test_free_slots_admit_even_with_zero_queue(self):
+        gate = AdmissionGate(max_inflight=2, max_queue=0, queue_timeout=0)
+        assert gate.try_enter()
+        assert gate.try_enter()
+        assert gate.inflight == 2
+        assert not gate.try_enter()  # full, and nothing may wait
+        gate.leave()
+        assert gate.try_enter()  # a freed slot admits again
+        gate.leave()
+        gate.leave()
+        assert gate.inflight == 0
+
+    def test_queued_request_gets_freed_slot(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=1, queue_timeout=5.0)
+        assert gate.try_enter()
+        outcome = []
+        waiter = threading.Thread(target=lambda: outcome.append(gate.try_enter()))
+        waiter.start()
+        deadline = time.monotonic() + 2.0
+        while gate.queue_depth == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert gate.queue_depth == 1
+        gate.leave()  # hands the slot to the queued waiter
+        waiter.join(timeout=2.0)
+        assert outcome == [True]
+        gate.leave()
+        assert gate.queue_depth == 0 and gate.inflight == 0
+
+    def test_full_queue_sheds_immediately(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=1, queue_timeout=5.0)
+        assert gate.try_enter()
+        waiter = threading.Thread(target=gate.try_enter)
+        waiter.start()
+        deadline = time.monotonic() + 2.0
+        while gate.queue_depth == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        started = time.monotonic()
+        assert not gate.try_enter()  # queue full: no waiting at all
+        assert time.monotonic() - started < 1.0
+        gate.leave()
+        waiter.join(timeout=2.0)
+        gate.leave()
+
+    def test_queue_timeout_sheds_the_waiter(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=4, queue_timeout=0.05)
+        assert gate.try_enter()
+        assert not gate.try_enter()  # waits 0.05s, then shed
+        assert gate.queue_depth == 0
+        gate.leave()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(AdmissionError):
+            AdmissionGate(max_inflight=0, max_queue=1)
+        with pytest.raises(AdmissionError):
+            AdmissionGate(max_inflight=1, max_queue=-1)
+        with pytest.raises(AdmissionError):
+            AdmissionGate(max_inflight=1, max_queue=1, queue_timeout=-1)
+
+
+class TestAdmissionController:
+    def test_rate_limit_decision(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            AdmissionConfig(rate=1.0, burst=1), clock=clock
+        )
+        first = controller.admit("alice")
+        assert first.admitted and first.reason is None
+        controller.release(first)
+        second = controller.admit("alice")
+        assert not second.admitted
+        assert second.reason == AdmissionController.RATE_LIMITED
+        assert second.retry_after == pytest.approx(1.0)
+        controller.release(second)  # releasing a rejection is a no-op
+
+    def test_overload_decision(self):
+        controller = AdmissionController(
+            AdmissionConfig(rate=None, max_inflight=1, max_queue=0, queue_timeout=0)
+        )
+        first = controller.admit("alice")
+        assert first.admitted
+        shed = controller.admit("bob")
+        assert not shed.admitted
+        assert shed.reason == AdmissionController.OVERLOADED
+        controller.release(first)
+        assert controller.admit("bob").admitted
+
+    def test_rate_none_disables_the_limiter(self):
+        controller = AdmissionController(AdmissionConfig(rate=None))
+        assert controller.limiter is None
+        for _ in range(50):  # far beyond any default bucket
+            decision = controller.admit("alice")
+            assert decision.admitted
+            controller.release(decision)

@@ -1,0 +1,230 @@
+"""End-to-end service tests: real HTTP, concurrency, and the drain.
+
+These drive :class:`ArchiveServer` over loopback sockets with the
+load-harness :class:`HTTPTransport` as the client, covering what the
+socketless handler tests cannot: keep-alive plumbing, the reader-writer
+discipline under real thread interleavings, and the graceful-drain
+contract (no accepted request is lost).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import open_archive
+from repro.loadtest import (
+    HTTPTransport,
+    RateLimitedError,
+    ServiceClientError,
+    ServiceOverloadedError,
+)
+from repro.search.engine import EngineConfig
+from repro.service import (
+    AdmissionConfig,
+    ArchiveServer,
+    ArchiveService,
+    ServiceConfig,
+)
+from tests.helpers import DEFAULT_CORPUS, build_engine
+
+#: Keep pathological-connection waits short in tests.
+FAST = ServiceConfig(request_timeout=2.0)
+
+ARCHIVE_CONFIG = EngineConfig(num_lists=64, block_size=4096, branching=None)
+
+
+@pytest.fixture()
+def server():
+    with ArchiveServer(ArchiveService(build_engine(batch=True), config=FAST)) as srv:
+        yield srv
+
+
+class TestEndToEnd:
+    def test_search_ingest_audit_roundtrip(self, server):
+        with HTTPTransport(server.endpoint) as client:
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["documents"] == len(DEFAULT_CORPUS)
+
+            hits = client.search("imclone", top_k=5)
+            assert hits and all(isinstance(h.doc_id, int) for h in hits)
+
+            doc_ids = client.index_batch(["quagga sighting report"])
+            assert doc_ids == [len(DEFAULT_CORPUS)]
+            assert [h.doc_id for h in client.search("quagga")] == doc_ids
+
+            audit = client._call("GET", "/audit")
+            assert audit["ok"] is True
+
+            metrics = client._call("GET", "/metrics")
+            assert "repro_service_requests_total" in metrics["text"]
+
+    def test_get_search_query_string(self, server):
+        with HTTPTransport(server.endpoint) as client:
+            body = client._call("GET", "/search?q=imclone&top_k=2")
+            assert 0 < body["count"] <= 2
+
+    def test_rate_limit_over_the_wire(self):
+        config = ServiceConfig(
+            admission=AdmissionConfig(rate=0.001, burst=1), request_timeout=2.0
+        )
+        service = ArchiveService(build_engine(batch=True), config=config)
+        with ArchiveServer(service) as srv, HTTPTransport(srv.endpoint) as client:
+            assert client.search("imclone")
+            with pytest.raises(RateLimitedError) as excinfo:
+                client.search("imclone")
+            assert excinfo.value.retry_after >= 1
+
+    def test_overload_over_the_wire(self):
+        config = ServiceConfig(
+            admission=AdmissionConfig(
+                rate=None, max_inflight=1, max_queue=0, queue_timeout=0
+            ),
+            request_timeout=2.0,
+        )
+        service = ArchiveService(build_engine(batch=True), config=config)
+        with ArchiveServer(service) as srv, HTTPTransport(srv.endpoint) as client:
+            service.admission.gate.try_enter()  # simulate a saturated service
+            try:
+                with pytest.raises(ServiceOverloadedError):
+                    client.search("imclone")
+            finally:
+                service.admission.gate.leave()
+            assert client.search("imclone")  # slot free again
+
+
+class TestSnapshotConsistency:
+    def test_searches_never_observe_a_partial_ingest(self, server):
+        """Ingest batches are atomic to concurrent readers.
+
+        Every document in a batch carries the same marker term, so any
+        search observing only part of a batch would count a non-multiple
+        of the batch size.
+        """
+        batch_size, batches = 8, 5
+        counts, failures = [], []
+        stop = threading.Event()
+
+        def searcher():
+            with HTTPTransport(server.endpoint) as client:
+                while not stop.is_set():
+                    try:
+                        counts.append(len(client.search("zanzibar", top_k=100)))
+                    except ServiceClientError as exc:  # pragma: no cover
+                        failures.append(exc)
+                        return
+
+        readers = [threading.Thread(target=searcher) for _ in range(3)]
+        for reader in readers:
+            reader.start()
+        with HTTPTransport(server.endpoint) as writer:
+            for batch_no in range(batches):
+                writer.index_batch(
+                    [
+                        f"zanzibar cable {batch_no}-{i}"
+                        for i in range(batch_size)
+                    ]
+                )
+        stop.set()
+        for reader in readers:
+            reader.join(timeout=10.0)
+        assert not failures
+        assert counts, "searchers never ran"
+        torn = [count for count in counts if count % batch_size]
+        assert not torn, f"saw partial batches: {sorted(set(torn))}"
+
+
+class TestGracefulDrain:
+    def test_drain_is_idempotent_and_rejects_after(self, server):
+        with HTTPTransport(server.endpoint) as client:
+            assert client.search("imclone")
+        server.drain()
+        server.drain()  # second drain is a no-op
+        with HTTPTransport(server.endpoint, timeout=1.0) as client:
+            with pytest.raises(ServiceClientError):  # listener is gone
+                client.search("imclone")
+
+    def test_no_accepted_ingest_is_lost(self, tmp_path):
+        """Every ingest the draining server acknowledged is on disk."""
+        path = str(tmp_path / "archive")
+        engine, handle = open_archive(path, create=ARCHIVE_CONFIG, shards=2)
+        engine.index_batch([f"seed record {i}" for i in range(4)])
+        handle.close()
+
+        engine, handle = open_archive(path)
+        service = ArchiveService(engine, handle, config=FAST)
+        server = ArchiveServer(service).start()
+        accepted, rejected = [], []
+        barrier = threading.Barrier(5)
+
+        def ingester(worker: int):
+            with HTTPTransport(server.endpoint, timeout=5.0) as client:
+                barrier.wait()
+                for attempt in range(10):
+                    try:
+                        ids = client.index_batch(
+                            [f"drainproof w{worker} a{attempt}"]
+                        )
+                        accepted.extend(ids)
+                    except ServiceClientError as exc:
+                        rejected.append(exc)
+                        return
+
+        workers = [
+            threading.Thread(target=ingester, args=(w,)) for w in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        barrier.wait()  # drain lands while ingests are in flight
+        server.drain()
+        for worker in workers:
+            worker.join(timeout=10.0)
+
+        # Acknowledged IDs are unique and, after reopening the archive
+        # from disk, every one of them is committed and searchable.
+        assert len(accepted) == len(set(accepted))
+        engine, handle = open_archive(path)
+        try:
+            assert len(engine.documents) == 4 + len(accepted)
+            found = {
+                hit.doc_id for hit in engine.search("drainproof", top_k=100)
+            }
+            assert found == set(accepted)
+        finally:
+            handle.close()
+
+
+class TestWarmServiceLatency:
+    def test_warm_search_beats_cold_open_per_query(self, tmp_path):
+        """The reason the service exists: open once, not once per query."""
+        path = str(tmp_path / "archive")
+        engine, handle = open_archive(path, create=ARCHIVE_CONFIG)
+        engine.index_batch(
+            [f"imclone filing {i} with assorted padding terms" for i in range(60)]
+        )
+        handle.close()
+
+        warm = []
+        with ArchiveServer(
+            ArchiveService(*open_archive(path), config=FAST)
+        ) as srv, HTTPTransport(srv.endpoint) as client:
+            client.search("imclone")  # connection + cache warmup
+            for _ in range(10):
+                started = time.perf_counter()
+                assert client.search("imclone", top_k=10)
+                warm.append(time.perf_counter() - started)
+
+        cold = []
+        for _ in range(3):
+            started = time.perf_counter()
+            engine, handle = open_archive(path)
+            assert engine.search("imclone", top_k=10)
+            handle.close()
+            cold.append(time.perf_counter() - started)
+
+        warm_median = sorted(warm)[len(warm) // 2]
+        cold_median = sorted(cold)[len(cold) // 2]
+        assert warm_median < cold_median, (
+            f"warm {warm_median * 1e3:.2f} ms !< cold {cold_median * 1e3:.2f} ms"
+        )

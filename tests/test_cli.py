@@ -167,3 +167,30 @@ class TestAuditAndDispose:
         assert "disposed 1" in capsys.readouterr().out
         run("search", "--archive", archive, "record")
         assert "no results" in capsys.readouterr().out
+
+
+class TestDisposeDurability:
+    def test_dispose_accepts_durability_flags(self, archive, capsys):
+        run("init", "--archive", archive, "--retention", "10")
+        run(
+            "index", "--archive", archive,
+            "--text", "old record", "--commit-time", "0",
+        )
+        capsys.readouterr()
+        assert run(
+            "dispose", "--archive", archive, "--now", "50",
+            "--fsync", "--group-commit", "4",
+        ) == 0
+        assert "disposed 1" in capsys.readouterr().out
+
+
+class TestServeValidation:
+    def test_out_of_range_port_rejected(self, archive, capsys):
+        run("init", "--archive", archive)
+        assert run("serve", "--archive", archive, "--port", "70000") == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_negative_rate_rejected(self, archive, capsys):
+        run("init", "--archive", archive)
+        assert run("serve", "--archive", archive, "--rate", "-1") == 2
+        assert "--rate" in capsys.readouterr().err
