@@ -35,6 +35,12 @@ def full_engine_audit(engine) -> List[AuditReport]:
         posting_list = engine._lists[list_id]
         jump = engine._jumps.get(list_id)
         reports.append(audit_posting_list(posting_list, jump))
+    # Tail-mode engines keep postings in sealed WORM segments instead of
+    # (or alongside) the legacy merged lists; their lists carry the same
+    # order/jump invariants and get the same per-list audit.
+    for segment in getattr(engine, "iter_segments", lambda: ())():
+        for posting_list, jump in segment.attached_lists():
+            reports.append(audit_posting_list(posting_list, jump))
     commit_report = AuditReport(subject="commit-time log")
     try:
         engine.time_index.verify()

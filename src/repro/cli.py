@@ -4,6 +4,8 @@ Usage (also available as ``python -m repro``)::
 
     repro-search init    --archive records.worm [--num-lists N]
                          [--branching B] [--retention PERIOD] [--shards K]
+                         [--tail-max-docs N] [--seal-strategy uniform|popular|epoch]
+                         [--seal-popular K] [--merge-at N]
     repro-search index   --archive records.worm --text "..." [--text "..."]
     repro-search index   --archive records.worm file1.txt ... [--batch-size N]
     repro-search search  --archive records.worm "stewart waksal" [--top-k K]
@@ -18,11 +20,14 @@ Usage (also available as ``python -m repro``)::
     repro-search dispose --archive records.worm --now TIME
                          [--fsync] [--group-commit N]
     repro-search verify-journal --archive records.worm
+    repro-search segments --archive records.worm [--seal] [--merge]
     repro-search serve   --archive records.worm [--host H] [--port P]
                          [--rate R] [--burst B] [--max-inflight N]
                          [--max-queue Q] [--fsync] [--group-commit N]
+                         [--seal-interval S]
     repro-search loadtest [--clients N] [--duration S] [--mix F]
                           [--arrival-rate R] [--seed S] [--shards K]
+                          [--tail-max-docs N]
                           [--endpoint http://HOST:PORT]
                           [--out BENCH_LOADTEST.json] [--compare BASELINE]
     repro-search capacity --snapshot BENCH_LOADTEST.json
@@ -75,6 +80,10 @@ def _write_config(
             "ranking": config.ranking,
             "retention_period": config.retention_period,
             "shards": shards,
+            "tail_max_docs": config.tail_max_docs,
+            "seal_strategy": config.seal_strategy,
+            "seal_popular_terms": config.seal_popular_terms,
+            "merge_at_segments": config.merge_at_segments,
         },
         separators=(",", ":"),
     ).encode("utf-8")
@@ -93,6 +102,12 @@ def _read_config(store: CachedWormStore):
         branching=data["branching"],
         ranking=data["ranking"],
         retention_period=data["retention_period"],
+        # Tail-mode fields postdate some archives; absent keys mean the
+        # archive was built legacy-synchronous (tail disabled).
+        tail_max_docs=data.get("tail_max_docs"),
+        seal_strategy=data.get("seal_strategy", "uniform"),
+        seal_popular_terms=data.get("seal_popular_terms", 8),
+        merge_at_segments=data.get("merge_at_segments", 8),
     )
     return config, data.get("shards", 1)
 
@@ -201,6 +216,10 @@ def _cmd_init(args) -> int:
         block_size=args.block_size,
         branching=args.branching,
         retention_period=args.retention,
+        tail_max_docs=args.tail_max_docs or None,
+        seal_strategy=args.seal_strategy,
+        seal_popular_terms=args.seal_popular,
+        merge_at_segments=args.merge_at or None,
     )
     engine, handle = open_archive(
         args.archive, create=config, shards=args.shards
@@ -210,10 +229,16 @@ def _cmd_init(args) -> int:
     layout = (
         f", {args.shards} shards" if args.shards > 1 else ""
     )
+    tail = (
+        f", tail seals at {config.tail_max_docs} docs "
+        f"({config.seal_strategy})"
+        if config.tail_max_docs is not None
+        else ""
+    )
     print(
         f"initialized archive '{args.archive}': {config.num_lists} merged "
         f"lists, {config.block_size} B blocks, jump index {jump}, "
-        f"retention {config.retention_period or 'forever'}{layout}"
+        f"retention {config.retention_period or 'forever'}{layout}{tail}"
     )
     return 0
 
@@ -516,7 +541,10 @@ def _cmd_loadtest(args) -> int:
         # engine, not a disk layout, and every run starts from the same
         # state.
         engine_config = EngineConfig(
-            num_lists=256, block_size=4096, branching=None
+            num_lists=256,
+            block_size=4096,
+            branching=None,
+            tail_max_docs=args.tail_max_docs or None,
         )
         engine = ShardedSearchEngine(
             engine_config,
@@ -592,6 +620,65 @@ def _cmd_dispose(args) -> int:
         archive.close()
 
 
+def _print_segment_table(info, indent: str = "") -> None:
+    print(
+        f"{indent}tail: {info['tail_docs']} docs, "
+        f"{info['tail_postings']} postings, "
+        f"generation {info['tail_generation']}"
+    )
+    if not info["segments"]:
+        print(f"{indent}no sealed segments")
+        return
+    print(
+        f"{indent}{'seg':>5} {'docs':>12} {'count':>7} "
+        f"{'strategy':<8} {'popular':>7} merged-from"
+    )
+    for seg in info["segments"]:
+        merged = (
+            ",".join(str(s) for s in seg["merged_from"])
+            if seg["merged_from"]
+            else "-"
+        )
+        print(
+            f"{indent}{seg['seg_no']:>5} "
+            f"{seg['first_doc']:>5}..{seg['last_doc']:<5} "
+            f"{seg['doc_count']:>7} {seg['strategy']:<8} "
+            f"{seg['popular_terms']:>7} {merged}"
+        )
+
+
+def _cmd_segments(args) -> int:
+    """Show — and optionally advance — the tail/segment layout."""
+    # Seals and merges append segment lists and manifest records; honour
+    # the same durability knobs as index.
+    engine, archive = open_archive(
+        args.archive, fsync=args.fsync, group_commit=args.group_commit
+    )
+    try:
+        if not getattr(engine, "tail_enabled", False):
+            print(
+                "archive is not in tail mode (init with --tail-max-docs)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.seal:
+            sealed = engine.seal_tail()
+            print(f"sealed tail into segment(s): {sealed}")
+        if args.merge:
+            merged = engine.merge_segments()
+            print(f"merged live segments into: {merged}")
+        info = engine.segments_info()
+        if "shards" in info:
+            for shard_id, shard_info in enumerate(info["shards"]):
+                print(f"shard {shard_id}:")
+                _print_segment_table(shard_info, indent="  ")
+        else:
+            _print_segment_table(info)
+        return 0
+    finally:
+        archive.close()
+
+
 def _cmd_serve(args) -> int:
     """Run the long-lived archive service until a signal drains it."""
     import signal
@@ -605,6 +692,12 @@ def _cmd_serve(args) -> int:
     if args.rate < 0:
         print(f"--rate must be >= 0 (got {args.rate})", file=sys.stderr)
         return 2
+    if args.seal_interval < 0:
+        print(
+            f"--seal-interval must be >= 0 (got {args.seal_interval})",
+            file=sys.stderr,
+        )
+        return 2
     config = ServiceConfig(
         admission=AdmissionConfig(
             rate=None if args.rate == 0 else args.rate,
@@ -615,6 +708,7 @@ def _cmd_serve(args) -> int:
         ),
         request_timeout=args.request_timeout,
         log_requests=args.log_requests,
+        seal_interval=args.seal_interval,
     )
     try:
         server = serve_archive(
@@ -689,6 +783,28 @@ def build_parser() -> argparse.ArgumentParser:
     init.add_argument(
         "--shards", type=int, default=1,
         help="partition the archive across K parallel shards (default: 1)",
+    )
+    init.add_argument(
+        "--tail-max-docs", type=int, default=0,
+        help="enable the write–read decoupled tail: buffer up to N docs "
+        "in the in-memory tail before sealing a WORM segment "
+        "(default: 0 = legacy synchronous posting-list appends)",
+    )
+    init.add_argument(
+        "--seal-strategy", choices=["uniform", "popular", "epoch"],
+        default="uniform",
+        help="merging strategy applied when sealing a segment: uniform "
+        "hash, keep-popular-unmerged (by tail term counts), or epoch "
+        "(popularity from the previous seal) (default: uniform)",
+    )
+    init.add_argument(
+        "--seal-popular", type=int, default=8, metavar="K",
+        help="with popular/epoch sealing, terms kept unmerged (default: 8)",
+    )
+    init.add_argument(
+        "--merge-at", type=int, default=8, metavar="N",
+        help="auto-merge live segments once N accumulate; 0 disables "
+        "background merging (default: 8)",
     )
     init.set_defaults(func=_cmd_init)
 
@@ -818,6 +934,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dispose.set_defaults(func=_cmd_dispose)
 
+    segments = sub.add_parser(
+        "segments",
+        help="show the tail/segment layout of a tail-mode archive "
+        "(optionally seal the tail or merge live segments)",
+    )
+    segments.add_argument("--archive", required=True)
+    segments.add_argument(
+        "--seal", action="store_true",
+        help="seal the current tail into a WORM segment first",
+    )
+    segments.add_argument(
+        "--merge", action="store_true",
+        help="merge all live segments into one (after --seal, if both)",
+    )
+    segments.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the journal(s) while sealing/merging",
+    )
+    segments.add_argument(
+        "--group-commit", type=int, default=64,
+        help="with --fsync, records per fsync batch (default: 64)",
+    )
+    segments.set_defaults(func=_cmd_segments)
+
     serve = sub.add_parser(
         "serve",
         help="serve the archive over HTTP (search/ingest/audit/metrics) "
@@ -885,6 +1025,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-requests", action="store_true",
         help="echo one access-log line per request to stderr",
     )
+    serve.add_argument(
+        "--seal-interval", type=float, default=0.0, metavar="S",
+        help="on a tail-mode archive, background-seal the tail every S "
+        "seconds so quiet periods still bound tail residency "
+        "(default: 0 = size-triggered sealing only)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadtest = sub.add_parser(
@@ -930,6 +1076,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--drift", type=int, default=0, metavar="STRIDE",
         help="rotate query popularity between epochs by STRIDE hot-pool "
         "ranks (default: 0 = stable popularity)",
+    )
+    loadtest.add_argument(
+        "--tail-max-docs", type=int, default=0, metavar="N",
+        help="run the ephemeral archive in tail mode: buffer N docs per "
+        "shard before sealing a segment (default: 0 = legacy "
+        "synchronous indexing); ignored with --endpoint",
     )
     loadtest.add_argument(
         "--endpoint", default=None, metavar="URL",

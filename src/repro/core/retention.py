@@ -24,6 +24,7 @@ raise the alarm".
 
 from __future__ import annotations
 
+import math
 import struct
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
@@ -86,7 +87,23 @@ class RetentionManager:
         missing = object()
         disposed: List[int] = []
         for doc_id in range(documents.next_doc_id):
-            if doc_id in self._dispositions:
+            prior = self._dispositions.get(doc_id)
+            if prior is not None:
+                # Crash recovery: the log-then-delete pair below may have
+                # been interrupted after the log append committed but
+                # before the file deletion ran.  The record alone must
+                # not make the sweep skip the document forever — that
+                # would leave a "disposed" record for a still-readable
+                # file, violating the documented "a re-run simply
+                # completes" contract.  Finish the deletion here (the
+                # logged horizon is >= the true one, so a `now` past the
+                # logged horizon satisfies the WORM deletion check).
+                if now >= prior.retention_until and documents.exists(doc_id):
+                    self.store.device.delete_file(
+                        documents.file_name(doc_id), now=now
+                    )
+                    self._horizons.pop(doc_id, None)
+                    disposed.append(doc_id)
                 continue
             horizon = self._horizons.get(doc_id, missing)
             if horizon is missing:
@@ -104,9 +121,14 @@ class RetentionManager:
                 continue
             # Log first, then delete: a crash between the two leaves a
             # disposition record for a still-present document, which a
-            # re-run simply completes; the reverse order would leave an
-            # unexplained dangling ID.
-            self._log(doc_id, int(horizon), now)
+            # re-run simply completes (see the recovery branch above);
+            # the reverse order would leave an unexplained dangling ID.
+            # Legacy archives may hold fractional horizons; the log packs
+            # integers, and rounding *up* keeps the logged horizon at or
+            # past the true one — truncation would understate retention
+            # and let a record claim disposal before its horizon without
+            # tripping the replay tamper check.
+            self._log(doc_id, math.ceil(horizon), now)
             self.store.device.delete_file(documents.file_name(doc_id), now=now)
             disposed.append(doc_id)
             del self._horizons[doc_id]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
+from repro.errors import WorkloadError
 from repro.worm.storage import CachedWormStore
 
 
@@ -94,8 +95,25 @@ class DocumentStore:
         single action" (Section 2.1); the engine calls this and the index
         update inside one ingest call with no buffering in between.
         ``retention_until`` sets the term-immutability horizon (None =
-        retained forever).
+        retained forever); it must be a whole number of commit-time
+        units — the disposition log packs horizons as integers, and a
+        fractional horizon would be silently truncated there, recording
+        a disposal as legitimate up to one time unit before the true
+        horizon.
+
+        Raises
+        ------
+        WorkloadError
+            If ``retention_until`` is not a whole number.
         """
+        if retention_until is not None and not float(
+            retention_until
+        ).is_integer():
+            raise WorkloadError(
+                f"retention_until must be a whole number of commit-time "
+                f"units, got {retention_until!r}; the disposition log "
+                f"records integer horizons"
+            )
         doc_id = self._next_doc_id
         name = self.file_name(doc_id)
         worm_file = self.store.device.create_file(

@@ -35,6 +35,18 @@ from repro.core.block_jump_index import BlockJumpIndex
 from repro.core.merge import MergeStrategy, TermAssignment, UniformHashMerge
 from repro.core.posting import MAX_TERM_ID_WITH_TF, pack_term_tf, unpack_term_tf
 from repro.core.posting_list import PostingList
+from repro.core.segments import (
+    STRATEGY_POPULAR,
+    STRATEGY_UNIFORM,
+    SealedSegment,
+    SegmentInfo,
+    SegmentManifest,
+    choose_popular_terms,
+    next_seg_no,
+    validate_seal_strategy,
+    write_segment_lists,
+)
+from repro.core.tail import MutableTailIndex, TailSnapshot
 from repro.core.time_index import CommitTimeIndex
 from repro.core.verification import AuditReport, audit_search_result
 from repro.errors import WorkloadError
@@ -110,6 +122,23 @@ class EngineConfig:
         ``"slru"`` (see :mod:`repro.worm.cache`).
     read_cache_mb:
         Approximate in-memory budget of the decoded-block tier, in MB.
+    tail_max_docs:
+        Enable write–read decoupling: ingest lands in a mutable
+        in-memory tail (:mod:`repro.core.tail`) that auto-seals into an
+        immutable WORM segment once it holds this many documents.
+        ``None`` (the default) keeps the legacy synchronous path —
+        postings append to the merged WORM lists inside the ingest call.
+    seal_strategy:
+        Term→list assignment each sealed segment pins: ``"uniform"``
+        (hash everything), ``"popular"`` (this tail's top terms get
+        unmerged lists), or ``"epoch"`` (the *previous* epoch's top
+        terms — the Section 3.3 epoch-driven adaptation).
+    seal_popular_terms:
+        How many popular terms get unmerged lists under ``"popular"`` /
+        ``"epoch"``.
+    merge_at_segments:
+        Run an online merge once this many segments are live (the
+        background merger's trigger); ``None`` disables auto-merging.
     """
 
     num_lists: int = 1024
@@ -123,6 +152,10 @@ class EngineConfig:
     read_cache: bool = False
     cache_policy: str = "lru"
     read_cache_mb: float = 8.0
+    tail_max_docs: Optional[int] = None
+    seal_strategy: str = "uniform"
+    seal_popular_terms: int = 8
+    merge_at_segments: Optional[int] = 8
 
     def __post_init__(self) -> None:
         if self.num_lists <= 0:
@@ -137,6 +170,21 @@ class EngineConfig:
         if self.read_cache_mb <= 0:
             raise WorkloadError(
                 f"read_cache_mb must be positive, got {self.read_cache_mb}"
+            )
+        if self.tail_max_docs is not None and self.tail_max_docs < 1:
+            raise WorkloadError(
+                f"tail_max_docs must be >= 1, got {self.tail_max_docs}"
+            )
+        validate_seal_strategy(self.seal_strategy)
+        if self.seal_popular_terms < 0:
+            raise WorkloadError(
+                f"seal_popular_terms must be >= 0, got "
+                f"{self.seal_popular_terms}"
+            )
+        if self.merge_at_segments is not None and self.merge_at_segments < 2:
+            raise WorkloadError(
+                f"merge_at_segments must be >= 2, got "
+                f"{self.merge_at_segments}"
             )
 
 
@@ -223,6 +271,24 @@ class TrustworthySearchEngine:
         self._clock = 0
         self._incidents = None
         self._retention = None
+        # Write–read decoupling (tail mode): the mutable tail, the
+        # sealed-segment manifest, and the attached live segments.  All
+        # lazily populated; ``None``/empty on the legacy path.
+        self._tail = (
+            MutableTailIndex()
+            if self.config.tail_max_docs is not None
+            else None
+        )
+        self._manifest: Optional[SegmentManifest] = None
+        self._segments: List[SealedSegment] = []
+        #: Term popularity of the previously sealed epoch (feeds the
+        #: "epoch" seal strategy; session-scoped, empty after restart).
+        self._epoch_counts: Dict[int, int] = {}
+        if self._tail is not None:
+            # Eagerly create/replay the manifest so the first seal after
+            # a reopen is the only writer: restart itself stays a pure
+            # read (important for crash-recovery determinism).
+            self._load_manifest()
         if self._lexicon_file.num_blocks or len(self.time_index):
             self._restore_state()
 
@@ -251,6 +317,19 @@ class TrustworthySearchEngine:
             commit_times[doc_id] = commit_time
         self.documents.restore(len(commit_times), commit_times)
         self._clock = self.time_index.last_commit_time + 1
+        sealed_through = -1
+        if self._tail is not None:
+            # The tail itself is derived data: every document above the
+            # sealed horizon re-enters it from the journaled document +
+            # commit-time logs.  A disposed never-sealed document simply
+            # does not re-enter — its absence is explained by the
+            # disposition log.
+            self._load_manifest()
+            sealed_through = (
+                self._manifest.sealed_through
+                if self._manifest is not None
+                else -1
+            )
         for doc_id in range(len(commit_times)):
             if not self.documents.exists(doc_id):
                 continue
@@ -267,6 +346,14 @@ class TrustworthySearchEngine:
                     self._term_postings[term_id] = (
                         self._term_postings.get(term_id, 0) + 1
                     )
+            if self._tail is not None and doc_id > sealed_through:
+                self._tail.add(
+                    doc_id,
+                    {
+                        tid: pack_term_tf(tid, count)
+                        for tid, count in id_counts.items()
+                    },
+                )
 
     # ------------------------------------------------------------------
     # observability
@@ -331,6 +418,26 @@ class TrustworthySearchEngine:
         self._m_ingest = m.histogram(
             "repro_ingest_seconds",
             "Per-document commit+index latency",
+            labels=base,
+        ).labels(**bound)
+        self._c_seals = m.counter(
+            "repro_tail_seals_total",
+            "Tail freezes into immutable WORM segments",
+            labels=base,
+        ).labels(**bound)
+        self._c_merges = m.counter(
+            "repro_segment_merges_total",
+            "Online merges of sealed WORM segments",
+            labels=base,
+        ).labels(**bound)
+        self._g_tail_docs = m.gauge(
+            "repro_tail_docs",
+            "Documents in the mutable in-memory tail",
+            labels=base,
+        ).labels(**bound)
+        self._g_segments = m.gauge(
+            "repro_segments_live",
+            "Live sealed WORM segments",
             labels=base,
         ).labels(**bound)
         self._stage_bound: Dict[str, object] = {}
@@ -470,6 +577,211 @@ class TrustworthySearchEngine:
         return posting_list
 
     # ------------------------------------------------------------------
+    # write–read decoupling: tail, sealer, online merger
+    # ------------------------------------------------------------------
+    @property
+    def tail_enabled(self) -> bool:
+        """Whether this engine runs the decoupled tail/segment path."""
+        return self._tail is not None
+
+    def _require_tail(self) -> MutableTailIndex:
+        if self._tail is None:
+            raise WorkloadError(
+                "tail mode is disabled; construct the engine with "
+                "EngineConfig(tail_max_docs=...) to seal and merge "
+                "segments"
+            )
+        return self._tail
+
+    def _load_manifest(self) -> None:
+        if self._manifest is None:
+            self._manifest = SegmentManifest(self.store)
+            self._segments = [
+                self._attach_segment(info) for info in self._manifest.live()
+            ]
+
+    def _attach_segment(self, info: SegmentInfo) -> SealedSegment:
+        return SealedSegment(
+            self.store,
+            info,
+            branching=self.config.branching,
+            read_cache=self.read_cache,
+        )
+
+    def index_view(self) -> Tuple[Tuple[SealedSegment, ...], TailSnapshot]:
+        """A snapshot-consistent ``(sealed segments, tail)`` read view.
+
+        Constant-time: a tuple copy of the live-segment list plus a
+        :class:`~repro.core.tail.TailSnapshot`.  The view keeps serving
+        the pre-event state across later seals and merges (segments are
+        immutable and the tail copies-on-seal); isolation from
+        concurrent *adds* relies on the single-writer lock discipline —
+        see :mod:`repro.core.tail`.
+        """
+        tail = self._require_tail()
+        self._load_manifest()
+        return tuple(self._segments), tail.snapshot()
+
+    def _choose_assignment(
+        self, counts: Dict[int, int]
+    ) -> Tuple[int, Tuple[int, ...]]:
+        """Pick the ``(strategy, popular_terms)`` a new segment pins.
+
+        ``counts`` is the term-popularity evidence of the postings being
+        sealed/merged; the ``"epoch"`` policy instead uses the previous
+        epoch's counts (:func:`repro.core.epochs.learn_popular_terms`'s
+        adaptation idea applied online), falling back to uniform while
+        no prior epoch exists.
+        """
+        policy = self.config.seal_strategy
+        if policy == "uniform":
+            return STRATEGY_UNIFORM, ()
+        source = counts if policy == "popular" else self._epoch_counts
+        popular = choose_popular_terms(
+            source, self.config.seal_popular_terms, self.config.num_lists
+        )
+        if not popular:
+            return STRATEGY_UNIFORM, ()
+        return STRATEGY_POPULAR, popular
+
+    def _maybe_seal(self) -> None:
+        if (
+            self._tail is not None
+            and self._tail.doc_count >= self.config.tail_max_docs
+        ):
+            self.seal_tail()
+
+    def seal_tail(self) -> Optional[int]:
+        """Freeze the tail into an immutable WORM segment.
+
+        Writes the segment's merged posting lists first and commits the
+        manifest record last — the atomic step; a crash before it leaves
+        only orphan files that recovery ignores and never overwrites.
+        Returns the new segment number (``None`` on an empty tail).
+        Auto-merges afterwards when ``merge_at_segments`` is reached.
+        """
+        tail = self._require_tail()
+        if tail.doc_count == 0:
+            return None
+        self._load_manifest()
+        counts = tail.term_counts()
+        strategy, popular = self._choose_assignment(counts)
+        seg_no = next_seg_no(self.store.device, self._manifest)
+        write_segment_lists(
+            self.store,
+            seg_no,
+            tail.postings_by_term(),
+            num_lists=self.config.num_lists,
+            strategy=strategy,
+            popular_terms=popular,
+            branching=self.config.branching,
+        )
+        info = SegmentInfo(
+            seg_no=seg_no,
+            first_doc=tail.first_doc,
+            last_doc=tail.last_doc,
+            doc_count=tail.doc_count,
+            num_lists=self.config.num_lists,
+            strategy=strategy,
+            popular_terms=popular,
+        )
+        self._manifest.append(info)
+        self._segments.append(self._attach_segment(info))
+        self._epoch_counts = counts
+        tail.clear()
+        if self._metrics_on:
+            self._c_seals.inc()
+            self._g_tail_docs.set(0)
+            self._g_segments.set(len(self._segments))
+        if (
+            self.config.merge_at_segments is not None
+            and len(self._segments) >= self.config.merge_at_segments
+        ):
+            self.merge_segments()
+        return seg_no
+
+    def merge_segments(self) -> Optional[int]:
+        """Merge every live segment into one, online (Section 3.3).
+
+        Gathers postings per term across the live segments (doc order is
+        preserved — segment doc ranges are disjoint and ascending),
+        re-chooses the term→list assignment from the combined
+        popularity, writes the merged segment, and retires the inputs
+        with a single manifest append.  Readers holding an older
+        :meth:`index_view` keep their segments; the retired segments'
+        read-cache entries are dropped.  Returns the merged segment
+        number (``None`` with fewer than two live segments).
+        """
+        self._require_tail()
+        self._load_manifest()
+        if len(self._segments) < 2:
+            return None
+        merged: Dict[int, List[Tuple[int, int]]] = {}
+        for segment in self._segments:
+            for term_id, entries in segment.postings_by_term().items():
+                merged.setdefault(term_id, []).extend(entries)
+        counts = {t: len(entries) for t, entries in merged.items()}
+        strategy, popular = self._choose_assignment(counts)
+        seg_no = next_seg_no(self.store.device, self._manifest)
+        write_segment_lists(
+            self.store,
+            seg_no,
+            merged,
+            num_lists=self.config.num_lists,
+            strategy=strategy,
+            popular_terms=popular,
+            branching=self.config.branching,
+        )
+        inputs = [segment.info for segment in self._segments]
+        info = SegmentInfo(
+            seg_no=seg_no,
+            first_doc=inputs[0].first_doc,
+            last_doc=inputs[-1].last_doc,
+            doc_count=sum(i.doc_count for i in inputs),
+            num_lists=self.config.num_lists,
+            strategy=strategy,
+            popular_terms=popular,
+            inputs=tuple(i.seg_no for i in inputs),
+        )
+        retired_files = [
+            name
+            for segment in self._segments
+            for name in segment.list_file_names()
+        ]
+        self._manifest.append(info)
+        self._segments = [self._attach_segment(info)]
+        if self.read_cache is not None:
+            # Segment-retirement hook: the retired lists can never be
+            # read again, so their decoded blocks and jump memos are
+            # dead weight.
+            self.read_cache.forget_lists(retired_files)
+        if self._metrics_on:
+            self._c_merges.inc()
+            self._g_segments.set(len(self._segments))
+        return seg_no
+
+    def iter_segments(self) -> List[SealedSegment]:
+        """The live sealed segments, ascending doc order (for audits)."""
+        if self._tail is None:
+            return []
+        self._load_manifest()
+        return list(self._segments)
+
+    def segments_info(self) -> Dict[str, object]:
+        """Operational view of the tail/segment lifecycle (CLI)."""
+        if self._tail is None:
+            return {"tail_enabled": False}
+        self._load_manifest()
+        return {
+            "tail_enabled": True,
+            "tail_docs": self._tail.doc_count,
+            "tail_postings": self._tail.posting_count,
+            "tail_generation": self._tail.generation,
+            "manifest_records": self._manifest.record_count,
+            "segments": [s.info.as_dict() for s in self._segments],
+        }
+
+    # ------------------------------------------------------------------
     # ingest — commit + index as one action (Section 2.1)
     # ------------------------------------------------------------------
     def index_document(
@@ -525,25 +837,46 @@ class TrustworthySearchEngine:
         id_counts: Dict[int, int] = {}
         for term, count in term_counts.items():
             id_counts[self.term_id(term, create=True)] = count
-        # Posting-list updates happen now, before returning: real-time
-        # index update, no buffering window.
-        for term_id in sorted(id_counts):
-            # Postings carry the paper's "keyword frequency" metadata,
-            # packed into the code field's spare byte.
-            code = pack_term_tf(term_id, id_counts[term_id])
-            list_id = self._list_id_for(term_id)
-            posting_list, jump = self._physical_list(list_id)
-            if jump is not None:
-                jump.insert(doc_id, term_code=code)
-            else:
-                posting_list.append(doc_id, term_code=code)
-            self._term_postings[term_id] = self._term_postings.get(term_id, 0) + 1
+        # Index updates happen now, before returning: real-time index
+        # update, no buffering window.  Tail mode registers the postings
+        # in memory (the document, commit-time, and lexicon logs above
+        # already journaled everything the tail is rebuilt from);
+        # otherwise they append to the merged WORM lists synchronously.
+        if self._tail is not None:
+            self._tail.add(
+                doc_id,
+                {
+                    term_id: pack_term_tf(term_id, id_counts[term_id])
+                    for term_id in sorted(id_counts)
+                },
+            )
+            for term_id in id_counts:
+                self._term_postings[term_id] = (
+                    self._term_postings.get(term_id, 0) + 1
+                )
+        else:
+            for term_id in sorted(id_counts):
+                # Postings carry the paper's "keyword frequency"
+                # metadata, packed into the code field's spare byte.
+                code = pack_term_tf(term_id, id_counts[term_id])
+                list_id = self._list_id_for(term_id)
+                posting_list, jump = self._physical_list(list_id)
+                if jump is not None:
+                    jump.insert(doc_id, term_code=code)
+                else:
+                    posting_list.append(doc_id, term_code=code)
+                self._term_postings[term_id] = (
+                    self._term_postings.get(term_id, 0) + 1
+                )
         self.time_index.record_commit(doc_id, commit_time)
         self.stats.add_document(doc_id, id_counts)
         if self._metrics_on:
             self._c_docs.inc()
             self._c_postings.inc(len(id_counts))
+            if self._tail is not None:
+                self._g_tail_docs.set(self._tail.doc_count)
             self._m_ingest.observe(perf_counter() - start)
+        self._maybe_seal()
         return doc_id
 
     def index_batch(
@@ -582,6 +915,7 @@ class TrustworthySearchEngine:
                 )
         doc_ids: List[int] = []
         postings_by_list: Dict[int, List[Tuple[int, int]]] = {}
+        total_postings = 0
         for text, commit_time in zip(texts, commit_times):
             if commit_time < self._clock:
                 raise WorkloadError(
@@ -601,13 +935,29 @@ class TrustworthySearchEngine:
             id_counts: Dict[int, int] = {}
             for term, count in term_counts.items():
                 id_counts[self.term_id(term, create=True)] = count
-            for term_id in sorted(id_counts):
-                code = pack_term_tf(term_id, id_counts[term_id])
-                list_id = self._list_id_for(term_id)
-                postings_by_list.setdefault(list_id, []).append((doc_id, code))
-                self._term_postings[term_id] = (
-                    self._term_postings.get(term_id, 0) + 1
+            if self._tail is not None:
+                self._tail.add(
+                    doc_id,
+                    {
+                        term_id: pack_term_tf(term_id, id_counts[term_id])
+                        for term_id in sorted(id_counts)
+                    },
                 )
+                total_postings += len(id_counts)
+                for term_id in id_counts:
+                    self._term_postings[term_id] = (
+                        self._term_postings.get(term_id, 0) + 1
+                    )
+            else:
+                for term_id in sorted(id_counts):
+                    code = pack_term_tf(term_id, id_counts[term_id])
+                    list_id = self._list_id_for(term_id)
+                    postings_by_list.setdefault(list_id, []).append(
+                        (doc_id, code)
+                    )
+                    self._term_postings[term_id] = (
+                        self._term_postings.get(term_id, 0) + 1
+                    )
             self.time_index.record_commit(doc_id, commit_time)
             self.stats.add_document(doc_id, id_counts)
             doc_ids.append(doc_id)
@@ -623,8 +973,12 @@ class TrustworthySearchEngine:
         if self._metrics_on:
             self._c_docs.inc(len(doc_ids))
             self._c_postings.inc(
-                sum(len(entries) for entries in postings_by_list.values())
+                total_postings
+                + sum(len(entries) for entries in postings_by_list.values())
             )
+            if self._tail is not None:
+                self._g_tail_docs.set(self._tail.doc_count)
+        self._maybe_seal()
         return doc_ids
 
     # ------------------------------------------------------------------
@@ -720,10 +1074,17 @@ class TrustworthySearchEngine:
                 # Defensive copy: callers may mutate the mapping.
                 return {d: dict(tf) for d, tf in cached.items()}
         if query.mode is QueryMode.ALL:
-            doc_ids, _ = self.conjunctive_doc_ids(query.terms, trace=trace)
+            if self._tail is not None:
+                doc_ids = self._conjunctive_tail(query.terms, trace=trace)
+            else:
+                doc_ids, _ = self.conjunctive_doc_ids(
+                    query.terms, trace=trace
+                )
             candidates = {
                 d: self._result_term_freqs(d, query.terms) for d in doc_ids
             }
+        elif self._tail is not None:
+            candidates = self._disjunctive_tail(query.terms, trace=trace)
         else:
             candidates = self._disjunctive_candidates(query.terms, trace=trace)
         retention = self._retention_if_any()
@@ -771,8 +1132,27 @@ class TrustworthySearchEngine:
         posting list or the commit-time log changes, and a document that
         could alter this query's candidates necessarily appends to one
         of these lists; the disposition-log length covers disposals.
+
+        Tail mode fingerprints per-term *posting counts* instead (the
+        union over segments + tail — a new matching document increments
+        its terms' counts wherever it lands) plus the tail generation,
+        which conservatively invalidates cached results across seals —
+        the segment-seal invalidation hook of the result tier.
         """
         parts: List[int] = []
+        if self._tail is not None:
+            for term in sorted(dict.fromkeys(query.terms)):
+                term_id = self.term_id(term)
+                if term_id is None:
+                    parts.extend((-1, -1))
+                else:
+                    parts.extend(
+                        (term_id, self._term_postings.get(term_id, 0))
+                    )
+            retention = self._retention_if_any()
+            parts.append(len(retention) if retention is not None else 0)
+            parts.append(self._tail.generation)
+            return tuple(parts)
         for term in sorted(dict.fromkeys(query.terms)):
             term_id = self.term_id(term)
             posting_list = (
@@ -826,6 +1206,81 @@ class TrustworthySearchEngine:
                 if block_stats is not None:
                     span.note(block_cache_hits=block_stats.hits - hits_before)
         return candidates
+
+    def _disjunctive_tail(
+        self, terms: Sequence[str], *, trace=None
+    ) -> Dict[int, Dict[int, int]]:
+        """Tail-mode disjunctive retrieval over a snapshot view.
+
+        Scans each live segment's wanted lists, then the tail's
+        postings; max-merging per ``(doc, term)`` makes the result
+        byte-identical to one legacy scan over a single merged list
+        family (each posting exists exactly once across segments+tail).
+        """
+        segments, tail = self.index_view()
+        with self._stage("resolve", trace, terms=len(terms)) as span:
+            term_ids = [self.term_id(t) for t in terms]
+            present = [t for t in term_ids if t is not None]
+            if span is not None:
+                span.note(present=len(present), segments=len(segments))
+        candidates: Dict[int, Dict[int, int]] = {}
+        use_cache = self.read_cache is not None
+        with self._stage("scan", trace, segments=len(segments)) as span:
+            entries = 0
+            for segment in segments:
+                entries += segment.collect_candidates(
+                    present, candidates, cached=use_cache
+                )
+            entries += tail.collect_candidates(present, candidates)
+            if self._metrics_on:
+                self._c_scan_entries.inc(entries)
+            if span is not None:
+                span.note(entries_scanned=entries, candidates=len(candidates))
+        return candidates
+
+    def _conjunctive_tail(
+        self, terms: Sequence[str], *, trace=None
+    ) -> List[int]:
+        """Tail-mode conjunctive retrieval over a snapshot view.
+
+        Joins each segment independently and concatenates — segment doc
+        ranges are disjoint and ascending, so the concatenation is the
+        same ascending doc-id list one global zigzag join would produce
+        — then appends the tail's matches.
+        """
+        segments, tail = self.index_view()
+        with self._stage(
+            "resolve", trace, terms=len(dict.fromkeys(terms))
+        ) as span:
+            term_ids: List[int] = []
+            missing = False
+            for term in dict.fromkeys(terms):
+                term_id = self.term_id(term)
+                if term_id is None:
+                    missing = True
+                    break
+                term_ids.append(term_id)
+            if span is not None:
+                span.note(segments=len(segments), missing_term=missing)
+        if missing or not term_ids:
+            return []
+        doc_ids: List[int] = []
+        with self._stage("join", trace, cursors=len(term_ids)) as span:
+            seeks = blocks = 0
+            for segment in segments:
+                matched, s, b = segment.conjunctive_doc_ids(term_ids)
+                doc_ids.extend(matched)
+                seeks += s
+                blocks += b
+            doc_ids.extend(tail.docs_with_all(term_ids))
+            if self._metrics_on:
+                self._c_seeks.inc(seeks)
+                self._c_join_blocks.inc(blocks)
+            if span is not None:
+                span.note(
+                    matches=len(doc_ids), seeks=seeks, blocks_read=blocks
+                )
+        return doc_ids
 
     def _conjunctive_cursors(
         self, terms: Sequence[str]
@@ -929,6 +1384,20 @@ class TrustworthySearchEngine:
         postings = sum(len(pl) for pl in self._lists.values())
         blocks = sum(pl.num_blocks for pl in self._lists.values())
         pointers = sum(j.pointers_set for j in self._jumps.values())
+        lists = len(self._lists)
+        tail_docs = tail_postings = segments_live = manifest_records = 0
+        if self._tail is not None:
+            self._load_manifest()
+            tail_docs = self._tail.doc_count
+            tail_postings = self._tail.posting_count
+            segments_live = len(self._segments)
+            manifest_records = self._manifest.record_count
+            for segment in self._segments:
+                seg_lists = list(segment.attached_lists())
+                lists += len(seg_lists)
+                postings += sum(len(pl) for pl, _ in seg_lists)
+                blocks += sum(pl.num_blocks for pl, _ in seg_lists)
+            postings += tail_postings
         retention = self._retention_if_any()
         if self._incidents is not None or self.store.device.exists(
             "engine/incidents"
@@ -939,7 +1408,7 @@ class TrustworthySearchEngine:
         return {
             "documents": len(self.documents),
             "vocabulary": self.vocabulary_size,
-            "physical_lists": len(self._lists),
+            "physical_lists": lists,
             "postings": postings,
             "posting_blocks": blocks,
             "jump_pointers": pointers,
@@ -949,6 +1418,10 @@ class TrustworthySearchEngine:
             "commit_log_records": len(self.time_index),
             "incidents": incidents,
             "dispositions": len(retention) if retention is not None else 0,
+            "tail_docs": tail_docs,
+            "tail_postings": tail_postings,
+            "segments_live": segments_live,
+            "manifest_records": manifest_records,
             "device_bytes": self.store.device.total_bytes(),
         }
 

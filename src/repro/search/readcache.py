@@ -40,7 +40,7 @@ no authority over WORM state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.posting import Posting
 from repro.worm.cache import make_policy
@@ -137,6 +137,18 @@ class DecodedBlockCache:
         """Drop one block (the tail of a list that just received an append)."""
         key = (name, block_no)
         if key in self._entries:
+            self._drop(key)
+            self.stats.invalidations += 1
+
+    def forget_list(self, name: str) -> None:
+        """Drop every cached block of ``name`` (the list was retired).
+
+        Used when a segment merge supersedes whole posting lists: the
+        retired files can never be read again, so keeping their decoded
+        blocks resident only squeezes live entries out of the budget.
+        Counted as invalidations.
+        """
+        for key in [k for k in self._entries if k[0] == name]:
             self._drop(key)
             self.stats.invalidations += 1
 
@@ -280,6 +292,18 @@ class ReadCache:
             memo = JumpMemo(self.memo_stats)
             self._memos[name] = memo
         return memo
+
+    def forget_lists(self, names: Iterable[str]) -> None:
+        """Retire posting lists wholesale (e.g. after a segment merge).
+
+        Drops their tier-1 decoded blocks and tier-3 jump memos.  Tier-2
+        results need no action: a merge never changes *which* documents
+        match, and the engine's fingerprint carries the tail generation /
+        per-term counts that govern result validity.
+        """
+        for name in names:
+            self.blocks.forget_list(name)
+            self._memos.pop(name, None)
 
     def as_dict(self) -> Dict[str, Any]:
         """Per-tier counters plus residency, for stats/metrics export."""

@@ -71,7 +71,19 @@ class TokenBucket:
         Returns ``(admitted, retry_after_seconds)``; ``retry_after`` is
         ``0.0`` when admitted, otherwise the time until the bucket will
         hold ``cost`` tokens again — the ``Retry-After`` hint.
+
+        Raises
+        ------
+        AdmissionError
+            If ``cost`` exceeds the bucket capacity: the bucket can
+            never hold that many tokens, so any finite ``retry_after``
+            would be a lie that sends the client into a retry loop.
         """
+        if cost > self.burst:
+            raise AdmissionError(
+                f"cost {cost} exceeds bucket capacity {self.burst}; "
+                f"the request can never be admitted"
+            )
         with self._lock:
             now = self._clock()
             self._tokens = min(

@@ -74,6 +74,11 @@ class ServiceConfig:
     max_body_bytes: int = 8 * 1024 * 1024
     #: Echo one access-log line per request to stderr.
     log_requests: bool = False
+    #: Seconds between background tail seals (tail-mode engines only;
+    #: ``0`` disables the sealer thread).  Size-triggered sealing via
+    #: ``EngineConfig.tail_max_docs`` still applies either way — this
+    #: bounds how long a *quiet* archive keeps documents tail-resident.
+    seal_interval: float = 0.0
 
 
 class ArchiveService:
@@ -300,7 +305,14 @@ class ArchiveService:
     def handle_ingest(
         self, payload: object
     ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
-        """``/ingest``: one batch under the exclusive (writer) lock."""
+        """``/ingest``: one batch under the exclusive (writer) lock.
+
+        With a tail-mode engine (``EngineConfig.tail_max_docs``) the
+        writer critical section shrinks to WORM document/log commits
+        plus an in-memory tail insertion — posting-list I/O moves to
+        seal time — so concurrent searches stall far less under a
+        write-heavy mix.
+        """
         request = parse_ingest_request(payload)
         with self.lock.writing():
             doc_ids = self.engine.index_batch(
@@ -513,6 +525,11 @@ class ArchiveServer:
         self._httpd = _ServiceHTTPServer((host, port), _Handler, service)
         self._thread: Optional[threading.Thread] = None
         self._drained = threading.Event()
+        self._sealer: Optional[threading.Thread] = None
+        self._sealer_stop = threading.Event()
+        #: Last exception the sealer loop swallowed (surfaced for tests
+        #: and operators; the loop itself must outlive transient errors).
+        self.sealer_error: Optional[BaseException] = None
 
     @property
     def host(self) -> str:
@@ -537,11 +554,40 @@ class ArchiveServer:
             name="archive-server",
         )
         self._thread.start()
+        self._start_sealer()
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until another thread drains."""
+        self._start_sealer()
         self._httpd.serve_forever(poll_interval=0.05)
+
+    def _start_sealer(self) -> None:
+        """Launch the background tail sealer, if configured and useful.
+
+        The sealer takes the *writer* lock for each seal — sealing
+        mutates the tail and appends segment lists exactly like ingest
+        appends posting lists — so it serialises against /ingest and
+        never overlaps a search.
+        """
+        interval = self.service.config.seal_interval
+        if (
+            self._sealer is not None
+            or interval <= 0
+            or not getattr(self.service.engine, "tail_enabled", False)
+        ):
+            return
+
+        def _run() -> None:
+            while not self._sealer_stop.wait(interval):
+                try:
+                    with self.service.lock.writing():
+                        self.service.engine.seal_tail()
+                except Exception as exc:  # noqa: BLE001 - keep sealing
+                    self.sealer_error = exc
+
+        self._sealer = threading.Thread(target=_run, name="tail-sealer")
+        self._sealer.start()
 
     def drain(self) -> None:
         """Graceful shutdown: reject new work, finish in-flight, sync, close.
@@ -552,6 +598,12 @@ class ArchiveServer:
         if self._drained.is_set():
             return
         self.service.begin_drain()
+        # Stop the sealer before tearing anything down: a seal holds the
+        # writer lock and appends to WORM, so it must not race close().
+        self._sealer_stop.set()
+        if self._sealer is not None:
+            self._sealer.join()
+            self._sealer = None
         # shutdown() stops the accept loop; server_close() then joins
         # every in-flight handler thread, so no accepted request is lost.
         self._httpd.shutdown()

@@ -392,6 +392,39 @@ class ShardedSearchEngine:
         return candidates[:top_k], report
 
     # ------------------------------------------------------------------
+    # tail mode (write–read decoupling, per shard)
+    # ------------------------------------------------------------------
+    @property
+    def tail_enabled(self) -> bool:
+        """Whether the shards run in tail mode (``tail_max_docs`` set)."""
+        return self.config.tail_max_docs is not None
+
+    def seal_tail(self) -> List[Optional[int]]:
+        """Seal every shard's tail into a segment.
+
+        Returns one segment number per shard (``None`` for shards whose
+        tail was empty).  Caller holds the writer side of whatever lock
+        guards ingest — sealing mutates the tail exactly like ingest
+        does.
+        """
+        return [shard.seal_tail() for shard in self.shards]
+
+    def merge_segments(self) -> List[Optional[int]]:
+        """Merge each shard's live segments into one (``None`` if <2)."""
+        return [shard.merge_segments() for shard in self.shards]
+
+    def segments_info(self) -> Dict[str, object]:
+        """Per-shard segment/tail layout, plus summed tail counters."""
+        per_shard = [shard.segments_info() for shard in self.shards]
+        return {
+            "tail_enabled": self.tail_enabled,
+            "tail_docs": sum(info["tail_docs"] for info in per_shard),
+            "tail_postings": sum(info["tail_postings"] for info in per_shard),
+            "segments_live": sum(len(info["segments"]) for info in per_shard),
+            "shards": per_shard,
+        }
+
+    # ------------------------------------------------------------------
     # retention
     # ------------------------------------------------------------------
     def dispose_expired(self, *, now: Optional[int] = None) -> List[int]:
@@ -452,6 +485,10 @@ class ShardedSearchEngine:
                 "commit_log_records",
                 "incidents",
                 "dispositions",
+                "tail_docs",
+                "tail_postings",
+                "segments_live",
+                "manifest_records",
                 "device_bytes",
             )
         }

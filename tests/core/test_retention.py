@@ -3,8 +3,16 @@
 import pytest
 
 from repro.core.retention import RetentionManager
-from repro.errors import TamperDetectedError, WormViolationError
+from repro.errors import TamperDetectedError, WorkloadError, WormViolationError
+from repro.search.documents import DocumentStore
 from repro.search.engine import EngineConfig, TrustworthySearchEngine
+from repro.worm.faults import (
+    FaultInjectingWormDevice,
+    FaultPlan,
+    SimulatedCrashError,
+)
+from repro.worm.persistent import JournaledWormDevice
+from repro.worm.storage import CachedWormStore
 
 
 def make_engine(retention_period=10):
@@ -134,3 +142,114 @@ class TestSweepEfficiency:
         doc_id = engine.index_document("named", commit_time=0)
         store = engine.documents
         assert store.file_name(doc_id) == store._file_name(doc_id)
+
+
+class TestCrashRecovery:
+    """Disposition is log-then-delete; a crash between the two must be
+    completed by the next sweep, not skipped forever."""
+
+    CONFIG = EngineConfig(
+        num_lists=16, branching=None, block_size=512, retention_period=10
+    )
+
+    def test_crash_between_log_and_delete_completes_on_next_sweep(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "arch.worm")
+        device = JournaledWormDevice(path, block_size=512)
+        engine = TrustworthySearchEngine(
+            self.CONFIG, store=CachedWormStore(None, device=device)
+        )
+        engine.index_document("old record", commit_time=0)
+        device.close()
+
+        # Reopen under fault injection and crash right after the
+        # disposition-log append applies — the document deletion that
+        # should follow never runs (power loss between _log and
+        # delete_file).
+        plan = FaultPlan()
+        device = FaultInjectingWormDevice(path, plan=plan, block_size=512)
+        engine = TrustworthySearchEngine(
+            self.CONFIG, store=CachedWormStore(None, device=device)
+        )
+        plan.crash("append:after-apply", on_call=1)
+        with pytest.raises(SimulatedCrashError):
+            engine.dispose_expired(now=50)
+
+        # Recovery: the log committed, the file survived.
+        device = JournaledWormDevice(path, block_size=512)
+        engine = TrustworthySearchEngine(
+            self.CONFIG, store=CachedWormStore(None, device=device)
+        )
+        assert engine.retention.is_disposed(0)
+        assert engine.documents.exists(0)
+        # The next sweep must complete the interrupted disposition.
+        assert engine.dispose_expired(now=50) == [0]
+        assert not engine.documents.exists(0)
+        # ... and stay idempotent afterwards.
+        assert engine.dispose_expired(now=60) == []
+        device.close()
+
+    def test_premature_rerun_defers_completion(self):
+        """A re-run *before* the logged horizon leaves the file alone
+        (the WORM device would refuse the deletion) and a later sweep
+        finishes the job."""
+        store = CachedWormStore(None, block_size=512)
+        docs = DocumentStore(store)
+        docs.commit("interrupted", commit_time=0, retention_until=10)
+        manager = RetentionManager(store)
+        # Simulate the crashed sweep's surviving state: record logged,
+        # file still present.
+        manager._log(0, 10, 20)
+        assert manager.dispose_expired(docs, now=5) == []
+        assert docs.exists(0)
+        assert manager.dispose_expired(docs, now=20) == [0]
+        assert not docs.exists(0)
+
+
+class TestFractionalHorizons:
+    """The disposition log packs integer horizons; fractional horizons
+    must be rejected at commit, and legacy ones rounded *up* in the log
+    so the replay tamper check stays sufficient."""
+
+    def test_commit_rejects_fractional_horizon(self, store):
+        docs = DocumentStore(store)
+        with pytest.raises(WorkloadError):
+            docs.commit("x", commit_time=0, retention_until=100.7)
+        assert docs.next_doc_id == 0  # nothing was committed
+        assert docs.commit("x", commit_time=0, retention_until=100.0) == 0
+
+    def test_legacy_fractional_horizon_rounds_up_in_log(self, store):
+        # A legacy archive may hold a fractional horizon committed
+        # before commit-time validation existed; build one directly.
+        docs = DocumentStore(store)
+        legacy = store.device.create_file(
+            docs.file_name(0), retention_until=100.7
+        )
+        legacy.append_record(b"legacy record")
+        docs.restore(1, {0: 0})
+        manager = RetentionManager(store)
+        # Every sweep at or before the true horizon refuses to dispose:
+        # truncation would have opened a one-unit window here.
+        for now in range(95, 101):
+            assert manager.dispose_expired(docs, now=now) == []
+        assert manager.dispose_expired(docs, now=101) == [0]
+        record = manager.disposition_for(0)
+        assert record.retention_until == 101  # ceil(100.7), not int()
+        assert record.disposed_at >= 100.7
+        # The logged pair still satisfies the replay invariant.
+        assert [d.doc_id for d in manager.dispositions()] == [0]
+
+    def test_boundary_record_below_ceiled_horizon_is_tampering(self, store):
+        """A record claiming disposal inside the fractional boundary —
+        possible output of the old truncating packer — is classified as
+        tampering on replay once horizons are ceiled."""
+        import struct
+
+        manager = RetentionManager(store, log_name="d")
+        # True horizon 100.7 ceils to 101; a disposal stamped 100 sits
+        # inside the retention window.
+        store.append_record("d", struct.pack("<IQQ", 0, 101, 100))
+        with pytest.raises(TamperDetectedError) as excinfo:
+            list(manager.dispositions())
+        assert excinfo.value.invariant == "retention-horizon"

@@ -243,6 +243,55 @@ class TestEngineIntegration:
             len(DEFAULT_CORPUS)
         ]
 
+    def test_disposition_invalidates_cached_results(self):
+        """The fingerprint's disposition-count component must catch a
+        live ``dispose_expired``: postings of a disposed document stay
+        on WORM (lists are append-only), so only the disposition log
+        distinguishes a stale cached result from a fresh one."""
+        engine = build_engine(
+            config=cached_config(retention_period=10),
+        )
+        before = [r.doc_id for r in engine.search("imclone")]
+        assert 0 in before
+        disposed = engine.dispose_expired(now=10_000)
+        assert disposed  # every document is past the tiny horizon
+        after = [r.doc_id for r in engine.search("imclone")]
+        assert after == []
+        stats = engine.read_cache_stats()["results"]
+        assert stats["invalidations"] >= 1
+        assert stats["hits"] == 0
+
+    def test_segment_merge_forgets_retired_lists(self):
+        """Merging segments retires their posting lists; the block cache
+        and jump memos must drop them instead of pinning dead entries."""
+        from dataclasses import replace
+
+        engine = build_engine(
+            config=replace(
+                cached_config(),
+                tail_max_docs=2,
+                merge_at_segments=None,
+            )
+        )
+        engine.search("imclone")  # warms blocks/memos on segment lists
+        retired = [
+            name
+            for segment in engine.iter_segments()
+            for name in segment.list_file_names()
+        ]
+        assert retired
+        engine.merge_segments()
+        cache = engine.read_cache
+        assert all(
+            key[0] not in retired for key in cache.blocks._entries
+        )
+        assert all(name not in retired for name in cache._memos)
+        # And the merged layout still answers identically.
+        legacy = build_engine()
+        assert [r.doc_id for r in engine.search("imclone")] == [
+            r.doc_id for r in legacy.search("imclone")
+        ]
+
     def test_cached_results_are_defensive_copies(self):
         engine = build_engine(config=cached_config())
         first = engine.match("imclone")

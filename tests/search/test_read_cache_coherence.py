@@ -7,6 +7,13 @@ cached variants must return exactly the reference's ``(doc_id, score)``
 list — i.e. the cache is invisible except for speed, under every policy,
 across appends (exact invalidation) and restarts (caches are derived
 state; recovery re-reads the device).
+
+Tail-mode variants ride the same machine: engines running the
+write–read decoupled index (mutable tail + sealed WORM segments, with
+and without the read cache on top) must answer byte-identically to the
+legacy reference through interleaved appends, *seals*, *merges*, and
+restarts — the structural proof that decoupling the write path never
+changes what a query returns.
 """
 
 from dataclasses import replace
@@ -53,6 +60,32 @@ class ReadCacheCoherence(RuleBasedStateMachine):
                 read_cache_mb=0.01,
             )
             self.variants[policy] = TrustworthySearchEngine(config)
+        # Tail-mode variants: auto-seal + auto-merge at tiny thresholds
+        # ("tail"), manual-only seal/merge with popular-term layout
+        # ("tail-popular"), and tail + read cache stacked ("tail-cached")
+        # so segment retirement exercises the cache's forget hooks.
+        self.variants["tail"] = TrustworthySearchEngine(
+            replace(BASE_CONFIG, tail_max_docs=3, merge_at_segments=3)
+        )
+        self.variants["tail-popular"] = TrustworthySearchEngine(
+            replace(
+                BASE_CONFIG,
+                tail_max_docs=100,
+                seal_strategy="popular",
+                seal_popular_terms=2,
+                merge_at_segments=None,
+            )
+        )
+        self.variants["tail-cached"] = TrustworthySearchEngine(
+            replace(
+                BASE_CONFIG,
+                tail_max_docs=4,
+                merge_at_segments=3,
+                read_cache=True,
+                cache_policy="lru",
+                read_cache_mb=0.01,
+            )
+        )
         self.num_docs = 0
 
     @rule(text=doc_texts)
@@ -71,14 +104,14 @@ class ReadCacheCoherence(RuleBasedStateMachine):
             (r.doc_id, r.score)
             for r in self.variants["off"].search(query, top_k=self.num_docs + 1)
         ]
-        for policy in POLICIES:
+        for name, engine in self.variants.items():
+            if name == "off":
+                continue
             got = [
                 (r.doc_id, r.score)
-                for r in self.variants[policy].search(
-                    query, top_k=self.num_docs + 1
-                )
+                for r in engine.search(query, top_k=self.num_docs + 1)
             ]
-            assert got == expected, f"policy {policy} diverged on {query!r}"
+            assert got == expected, f"variant {name} diverged on {query!r}"
 
     @rule(terms=query_terms, lo=st.integers(0, 6), span=st.integers(0, 4))
     def time_range_search(self, terms, lo, span):
@@ -87,14 +120,28 @@ class ReadCacheCoherence(RuleBasedStateMachine):
             (r.doc_id, r.score)
             for r in self.variants["off"].search(query, top_k=self.num_docs + 1)
         ]
-        for policy in POLICIES:
+        for name, engine in self.variants.items():
+            if name == "off":
+                continue
             got = [
                 (r.doc_id, r.score)
-                for r in self.variants[policy].search(
-                    query, top_k=self.num_docs + 1
-                )
+                for r in engine.search(query, top_k=self.num_docs + 1)
             ]
-            assert got == expected, f"policy {policy} diverged on {query!r}"
+            assert got == expected, f"variant {name} diverged on {query!r}"
+
+    @rule()
+    def seal(self):
+        """Freeze every tail variant's tail into a WORM segment."""
+        for engine in self.variants.values():
+            if engine.tail_enabled:
+                engine.seal_tail()
+
+    @rule()
+    def merge(self):
+        """Background-merge each tail variant's live segments."""
+        for engine in self.variants.values():
+            if engine.tail_enabled:
+                engine.merge_segments()
 
     @rule()
     def restart(self):

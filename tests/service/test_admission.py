@@ -44,6 +44,23 @@ class TestTokenBucket:
         # Empty bucket at 2 tokens/s: one token is half a second away.
         assert retry_after == pytest.approx(0.5)
 
+    def test_oversized_cost_rejected_explicitly(self):
+        """A cost above the bucket capacity can never be admitted; any
+        finite retry_after would send the client into a futile loop."""
+        bucket = TokenBucket(rate=2.0, burst=3, clock=FakeClock())
+        with pytest.raises(AdmissionError):
+            bucket.try_acquire(cost=4)
+        # A full-burst request remains admissible.
+        admitted, retry_after = bucket.try_acquire(cost=3)
+        assert admitted and retry_after == 0.0
+
+    def test_oversized_cost_rejected_even_when_drained(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.try_acquire(cost=2)[0]
+        with pytest.raises(AdmissionError):
+            bucket.try_acquire(cost=2.5)
+
     def test_refill_readmits(self):
         clock = FakeClock()
         bucket = TokenBucket(rate=1.0, burst=1, clock=clock)

@@ -9,6 +9,7 @@ contract (no accepted request is lost).
 
 import threading
 import time
+from dataclasses import replace
 
 import pytest
 
@@ -26,7 +27,7 @@ from repro.service import (
     ArchiveService,
     ServiceConfig,
 )
-from tests.helpers import DEFAULT_CORPUS, build_engine
+from tests.helpers import DEFAULT_CORPUS, SMALL_CONFIG, build_engine
 
 #: Keep pathological-connection waits short in tests.
 FAST = ServiceConfig(request_timeout=2.0)
@@ -193,6 +194,49 @@ class TestGracefulDrain:
             assert found == set(accepted)
         finally:
             handle.close()
+
+
+class TestBackgroundSealer:
+    TAIL_CONFIG = replace(SMALL_CONFIG, tail_max_docs=100, merge_at_segments=None)
+
+    def test_sealer_freezes_tail_while_serving(self):
+        """The sealer thread turns tail docs into segments behind live
+        traffic, and searches stay correct throughout."""
+        engine = build_engine(config=self.TAIL_CONFIG, batch=True)
+        config = ServiceConfig(request_timeout=2.0, seal_interval=0.05)
+        with ArchiveServer(
+            ArchiveService(engine, config=config)
+        ) as srv, HTTPTransport(srv.endpoint) as client:
+            sealer = srv._sealer
+            assert sealer is not None and sealer.is_alive()
+            client.index_batch(["quagga sighting report"])
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if engine.segments_info()["segments"]:
+                    break
+                time.sleep(0.02)
+            else:  # pragma: no cover - diagnostic
+                pytest.fail("sealer never produced a segment")
+            assert srv.sealer_error is None
+            # Sealed docs answer exactly as before.
+            assert client.search("imclone")
+            assert [h.doc_id for h in client.search("quagga")] == [
+                len(DEFAULT_CORPUS)
+            ]
+        assert not sealer.is_alive()  # drain joined the sealer
+
+    def test_no_sealer_without_tail_or_interval(self):
+        # Legacy engine: interval set but nothing to seal.
+        config = ServiceConfig(request_timeout=2.0, seal_interval=0.05)
+        with ArchiveServer(
+            ArchiveService(build_engine(batch=True), config=config)
+        ) as srv:
+            assert srv._sealer is None
+        # Tail engine with the sealer disabled (default interval).
+        engine = build_engine(config=self.TAIL_CONFIG, batch=True)
+        with ArchiveServer(ArchiveService(engine, config=FAST)) as srv:
+            assert srv._sealer is None
+            assert engine.segments_info()["tail_docs"] == len(DEFAULT_CORPUS)
 
 
 class TestWarmServiceLatency:

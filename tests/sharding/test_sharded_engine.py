@@ -1,5 +1,7 @@
 """The sharded engine: equivalence, batching, and trust properties."""
 
+from dataclasses import replace
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -232,6 +234,69 @@ class TestRetention:
             assert sharded.search("purge", top_k=20) == []
             # Disposition records vouch for the vanished documents.
             assert sharded.verify_results([0, 3], ["purge"]).ok
+
+
+class TestTailMode:
+    """Tail-mode shards answer exactly like legacy shards, and the
+    seal/merge fan-out reaches every shard."""
+
+    TAIL_CONFIG = replace(CONFIG, tail_max_docs=4, merge_at_segments=None)
+
+    def test_sharded_tail_matches_sharded_legacy(self):
+        docs = [f"term{i % 5} term{(i * 3) % 5} filing" for i in range(18)]
+        legacy = ShardedSearchEngine(CONFIG, num_shards=3)
+        tailed = ShardedSearchEngine(self.TAIL_CONFIG, num_shards=3)
+        with legacy, tailed:
+            legacy.index_batch(docs)
+            tailed.index_batch(docs)
+            tailed.seal_tail()
+            tailed.index_batch(["term0 straggler"])
+            legacy.index_batch(["term0 straggler"])
+            for query in ("term0", "+term1 +term3", "filing @2..9"):
+                expected = [
+                    (r.doc_id, r.score)
+                    for r in legacy.search(query, top_k=25)
+                ]
+                got = [
+                    (r.doc_id, r.score)
+                    for r in tailed.search(query, top_k=25)
+                ]
+                assert got == expected, query
+
+    def test_seal_and_merge_fan_out(self):
+        config = replace(CONFIG, tail_max_docs=100, merge_at_segments=None)
+        sharded = ShardedSearchEngine(config, num_shards=3)
+        with sharded:
+            assert sharded.tail_enabled
+            sharded.index_batch([f"fanout doc{i}" for i in range(9)])
+            first = sharded.seal_tail()
+            sharded.index_batch([f"fanout late{i}" for i in range(9)])
+            second = sharded.seal_tail()
+            assert len(first) == len(second) == 3
+            merged = sharded.merge_segments()
+            assert len(merged) == 3
+            info = sharded.segments_info()
+            assert info["tail_enabled"] is True
+            assert info["tail_docs"] == 0
+            assert len(info["shards"]) == 3
+            # Doc conservation: every ingested doc is in some shard's
+            # segments (nothing stranded, nothing duplicated).
+            sealed = sum(
+                record["doc_count"]
+                for shard in info["shards"]
+                for record in shard["segments"]
+            )
+            assert sealed == 18
+            assert {r.doc_id for r in sharded.search("fanout", top_k=25)} == set(
+                range(18)
+            )
+
+    def test_legacy_shards_refuse_tail_ops(self):
+        sharded = ShardedSearchEngine(CONFIG, num_shards=2)
+        with sharded:
+            assert not sharded.tail_enabled
+            with pytest.raises(WorkloadError):
+                sharded.seal_tail()
 
 
 class TestProfiling:

@@ -93,6 +93,47 @@ class TestIndexAndSearch:
         assert run("search", "--archive", archive, "anything") == 2
 
 
+class TestSegments:
+    def test_tail_config_round_trips(self, archive):
+        run(
+            "init", "--archive", archive,
+            "--tail-max-docs", "4", "--seal-strategy", "popular",
+            "--seal-popular", "3", "--merge-at", "0",
+        )
+        engine, device = open_archive(archive)
+        assert engine.config.tail_max_docs == 4
+        assert engine.config.seal_strategy == "popular"
+        assert engine.config.seal_popular_terms == 3
+        assert engine.config.merge_at_segments is None
+        device.close()
+
+    def test_seal_merge_and_report(self, archive, capsys):
+        run("init", "--archive", archive, "--tail-max-docs", "100")
+        run(
+            "index", "--archive", archive,
+            "--text", "alpha memo", "--text", "beta memo",
+        )
+        capsys.readouterr()
+        assert run("segments", "--archive", archive) == 0
+        assert "tail: 2 docs" in capsys.readouterr().out
+        assert run("segments", "--archive", archive, "--seal") == 0
+        capsys.readouterr()
+        run("index", "--archive", archive, "--text", "gamma memo")
+        capsys.readouterr()
+        assert run("segments", "--archive", archive, "--seal", "--merge") == 0
+        out = capsys.readouterr().out
+        assert "merged live segments" in out
+        # Searches span segments after all of it.
+        run("search", "--archive", archive, "memo")
+        out = capsys.readouterr().out
+        assert "doc 0" in out and "doc 2" in out
+
+    def test_segments_rejects_legacy_archive(self, archive, capsys):
+        run("init", "--archive", archive)
+        assert run("segments", "--archive", archive) == 2
+        assert "not in tail mode" in capsys.readouterr().err
+
+
 class TestAuditAndDispose:
     def test_clean_audit(self, archive, capsys):
         run("init", "--archive", archive)
