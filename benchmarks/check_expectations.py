@@ -30,6 +30,9 @@ NONDETERMINISTIC = {
     "LOADTEST.txt",
     "OBS-OVERHEAD.txt",
     "READ-CACHE.txt",
+    "VEC-DECODE.txt",
+    "VEC-SCORE.txt",
+    "VEC-SHARD-SCALING.txt",
 }
 
 

@@ -137,6 +137,7 @@ def open_archive(
     read_cache: bool = False,
     cache_policy: str = "lru",
     cache_mb: float = 8.0,
+    executor: str = "thread",
 ):
     """Open (or with ``create``, initialize) an archive at ``path``.
 
@@ -148,6 +149,9 @@ def open_archive(
     ``read_cache`` / ``cache_policy`` / ``cache_mb`` likewise enable the
     session-scoped read-path cache (per shard on a sharded archive) —
     none of these is persisted, because none shapes committed state.
+    ``executor`` selects the query fan-out of a sharded archive:
+    ``"thread"`` (default) or ``"process"`` (per-shard worker processes
+    reopening the shard journals; also a session knob).
     """
     device = JournaledWormDevice(path, fsync=fsync, group_commit=group_commit)
     store = CachedWormStore(None, device=device)
@@ -170,6 +174,11 @@ def open_archive(
             read_cache_mb=cache_mb,
         )
     if shards <= 1:
+        if executor == "process":
+            raise ReproError(
+                "executor='process' needs a sharded archive "
+                "(init with --shards >= 2)"
+            )
         engine = TrustworthySearchEngine(config, store=store)
         return engine, device
     devices = [device]
@@ -190,6 +199,8 @@ def open_archive(
         coordinator_store=store,
         max_workers=workers,
         batch_size=batch_size,
+        executor=executor,
+        shard_paths=[_shard_path(path, i) for i in range(shards)],
     )
     return engine, _ArchiveHandle(devices, engine)
 
@@ -297,6 +308,7 @@ def _cmd_search(args) -> int:
         read_cache=args.read_cache,
         cache_policy=args.cache_policy,
         cache_mb=args.cache_mb,
+        executor=args.executor,
     )
     want_trace = args.trace or args.metrics_json
     trace = None
@@ -536,6 +548,37 @@ def _cmd_loadtest(args) -> int:
             result = run_load_test(transport, config)
         finally:
             transport.close()
+    elif args.executor == "process":
+        # Process workers reopen the shard journals in their own
+        # interpreters, so the ephemeral archive must be file-backed:
+        # build it in a temp directory that dies with the run.
+        import tempfile
+
+        if args.shards < 2:
+            print(
+                "--executor process needs --shards >= 2",
+                file=sys.stderr,
+            )
+            return 2
+        engine_config = EngineConfig(
+            num_lists=256,
+            block_size=4096,
+            branching=None,
+            tail_max_docs=args.tail_max_docs or None,
+        )
+        with tempfile.TemporaryDirectory(prefix="repro-loadtest-") as tmp:
+            engine, archive = open_archive(
+                os.path.join(tmp, "archive.worm"),
+                create=engine_config,
+                shards=args.shards,
+                workers=args.workers,
+                executor="process",
+            )
+            try:
+                result = run_load_test(engine, config)
+                export_loadtest(engine.metrics, result)
+            finally:
+                archive.close()
     else:
         # An ephemeral in-memory archive: the harness measures the
         # engine, not a disk layout, and every run starts from the same
@@ -722,6 +765,7 @@ def _cmd_serve(args) -> int:
             read_cache=args.read_cache,
             cache_policy=args.cache_policy,
             cache_mb=args.cache_mb,
+            executor=args.executor,
         )
     except OSError as exc:
         print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
@@ -851,6 +895,11 @@ def build_parser() -> argparse.ArgumentParser:
         "per shard)",
     )
     search.add_argument(
+        "--executor", choices=["thread", "process"], default="thread",
+        help="sharded query fan-out: 'thread' shares the interpreter, "
+        "'process' spawns one worker process per shard (default: thread)",
+    )
+    search.add_argument(
         "--trace", action="store_true",
         help="print the per-stage query trace (spans with micro-costs)",
     )
@@ -977,6 +1026,11 @@ def build_parser() -> argparse.ArgumentParser:
         "per shard)",
     )
     serve.add_argument(
+        "--executor", choices=["thread", "process"], default="thread",
+        help="sharded query fan-out: 'thread' shares the interpreter, "
+        "'process' spawns one worker process per shard (default: thread)",
+    )
+    serve.add_argument(
         "--rate", type=float, default=200.0,
         help="per-tenant sustained requests/second; 0 disables rate "
         "limiting (default: 200)",
@@ -1067,6 +1121,12 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--workers", type=int, default=None,
         help="per-query fan-out threads (default: one per shard)",
+    )
+    loadtest.add_argument(
+        "--executor", choices=["thread", "process"], default="thread",
+        help="query fan-out of the ephemeral archive: 'process' builds it "
+        "file-backed in a temp directory and spawns one worker process "
+        "per shard (default: thread)",
     )
     loadtest.add_argument(
         "--docs", type=int, default=300,

@@ -256,7 +256,7 @@ class BlockJumpIndex:
         block_no = 0
         while block_no != last_block:
             entries = self.posting_list.read_block_postings(block_no)
-            nb = entries[-1].doc_id
+            nb = entries.doc_ids[-1]
             if k <= nb:
                 return
             slot = self.slot_for(nb, k)
@@ -319,9 +319,9 @@ class BlockJumpIndex:
         block_no = 0
         while True:
             entries = cursor.peek_block(block_no)
-            nb = entries[-1].doc_id
+            nb = entries.doc_ids[-1]
             if doc_id <= nb:
-                docs = [p.doc_id for p in entries]
+                docs = entries.doc_ids
                 idx = bisect_left(docs, doc_id)
                 return idx < len(docs) and docs[idx] == doc_id
             slot = self.slot_for(nb, doc_id)
@@ -344,19 +344,18 @@ class BlockJumpIndex:
         """
         if cursor.exhausted:
             return None
-        if cursor.current.doc_id >= k:
+        if cursor.current_doc >= k:
             return cursor.current
         # Cheap path: the target may be in the cursor's current block.
         cur_block, cur_idx = cursor.position
         entries = cursor.peek_block(cur_block)
-        if entries[-1].doc_id >= k:
-            docs = [p.doc_id for p in entries]
-            idx = bisect_left(docs, k, lo=cur_idx)
+        if entries.doc_ids[-1] >= k:
+            idx = bisect_left(entries.doc_ids, k, lo=cur_idx)
             cursor.jump_to(cur_block, idx)
             return None if cursor.exhausted else cursor.current
         # If even the tail block tops out below k, nothing qualifies.
         tail_no = self.posting_list.num_blocks - 1
-        if cursor.peek_block(tail_no)[-1].doc_id < k:
+        if cursor.peek_block(tail_no).doc_ids[-1] < k:
             cursor.exhaust()
             return None
         target_block = self._navigate(cursor, k, start_block=0)
@@ -372,7 +371,7 @@ class BlockJumpIndex:
             cursor.seek_geq_sequential(k)
             return None if cursor.exhausted else cursor.current
         entries = cursor.peek_block(target_block)
-        docs = [p.doc_id for p in entries]
+        docs = entries.doc_ids
         idx = bisect_left(docs, k)
         if idx >= len(docs):
             raise TamperDetectedError(
@@ -399,7 +398,7 @@ class BlockJumpIndex:
         memo = self.memo
         nb = memo.nb(block_no) if memo is not None else None
         if nb is None:
-            nb = cursor.peek_block(block_no)[-1].doc_id
+            nb = cursor.peek_block(block_no).doc_ids[-1]
             if memo is not None and block_no < self.posting_list.num_blocks - 1:
                 # Only frozen (non-tail) blocks are memoized; the tail's
                 # largest ID still grows with appends.
@@ -456,8 +455,9 @@ class BlockJumpIndex:
                 invariant="jump-forward-only",
             )
         lo, hi = self.slot_range(nb, slot)
-        target_entries = cursor.peek_block(target)
-        if not any(lo <= p.doc_id < hi for p in target_entries):
+        target_docs = cursor.peek_block(target).doc_ids
+        first_geq_lo = bisect_left(target_docs, lo)
+        if not (first_geq_lo < len(target_docs) and target_docs[first_geq_lo] < hi):
             raise TamperDetectedError(
                 f"jump pointer (slot {slot}) from block {block_no} "
                 f"targets block {target} holding no ID in [{lo}, {hi})",

@@ -21,16 +21,17 @@ cache (insert-path experiments) and in a per-list / per-cursor counter
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Set, Tuple
+from bisect import bisect_left
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import DocumentIdOrderError, IndexError_, TamperDetectedError
 from repro.core.posting import (
     MAX_TERM_ID_WITH_TF,
     POSTING_SIZE,
     Posting,
-    decode_postings,
     encode_posting,
 )
+from repro.core.vecdecode import DecodedBlock
 from repro.worm.storage import CachedWormStore
 
 
@@ -76,6 +77,10 @@ class PostingList:
         #: Set by the engine when read caching is enabled; audits and
         #: restart recovery never consult it.
         self.read_cache = None
+        #: Optional ``(blocks_counter, postings_counter)`` pair; when the
+        #: engine attaches one, every block decode increments both (the
+        #: ``repro_decode_*_total`` observability series).
+        self.decode_metrics = None
         self._file = store.ensure_file(name, slot_count=slot_count)
         #: Total committed postings.
         self.count = 0
@@ -102,16 +107,16 @@ class PostingList:
         last = -1
         for block_no in range(self._file.num_blocks):
             entries = self.read_block_postings(block_no, counted=False)
-            for posting in entries:
-                if posting.doc_id < last:
+            for doc_id in entries.doc_ids:
+                if doc_id < last:
                     raise TamperDetectedError(
-                        f"doc ID {posting.doc_id} after {last}",
+                        f"doc ID {doc_id} after {last}",
                         location=f"posting list '{self.name}', block {block_no}",
                         invariant="posting-monotonicity",
                     )
-                last = posting.doc_id
+                last = doc_id
             self.count += len(entries)
-            self._block_max.append(entries[-1].doc_id if entries else last)
+            self._block_max.append(entries.doc_ids[-1] if len(entries) else last)
             self._tail_entries = len(entries)
         self.last_doc_id = last
 
@@ -190,8 +195,12 @@ class PostingList:
     # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
-    def read_block_postings(self, block_no: int, *, counted: bool = True) -> List[Posting]:
+    def read_block_postings(self, block_no: int, *, counted: bool = True) -> DecodedBlock:
         """Decode all postings of block ``block_no``.
+
+        Returns a :class:`~repro.core.vecdecode.DecodedBlock` — parallel
+        doc-ID / term-code columns decoded in one pass, compatible with
+        the ``List[Posting]`` the scalar decoder used to return.
 
         ``counted=True`` routes the access through the storage cache so it
         contributes to I/O statistics; auditors pass ``counted=False``.
@@ -202,9 +211,14 @@ class PostingList:
             payload = self.store.read_block(self.name, block_no)
         else:
             payload = self.store.peek_block(self.name, block_no)
-        return decode_postings(payload)
+        entries = DecodedBlock.from_payload(payload)
+        metrics = self.decode_metrics
+        if metrics is not None:
+            metrics[0].inc()
+            metrics[1].inc(len(entries))
+        return entries
 
-    def load_block_postings(self, block_no: int) -> Tuple[List[Posting], bool]:
+    def load_block_postings(self, block_no: int) -> Tuple[DecodedBlock, bool]:
         """Query-path block load; returns ``(entries, served_from_cache)``.
 
         When a read cache is attached, frozen decoded blocks are served
@@ -240,9 +254,28 @@ class PostingList:
             else:
                 yield from self.read_block_postings(block_no, counted=counted)
 
+    def scan_columns(
+        self, *, counted: bool = True, cached: bool = False
+    ) -> Iterator[Tuple[Sequence[int], Sequence[int]]]:
+        """Yield ``(doc_ids, term_codes)`` columns per block, in order.
+
+        The batch counterpart of :meth:`scan`: identical block-read
+        accounting, but consumers iterate two flat integer columns per
+        block instead of a ``Posting`` object stream.
+        """
+        for block_no in range(self.num_blocks):
+            if cached:
+                entries, _ = self.load_block_postings(block_no)
+            else:
+                entries = self.read_block_postings(block_no, counted=counted)
+            yield entries.doc_ids, entries.term_codes
+
     def doc_ids(self, *, counted: bool = False) -> List[int]:
         """All document IDs in order (convenience for tests and audits)."""
-        return [p.doc_id for p in self.scan(counted=counted)]
+        out: List[int] = []
+        for docs, _codes in self.scan_columns(counted=counted):
+            out.extend(docs)
+        return out
 
     def verify_order(self) -> None:
         """Audit that stored doc IDs are non-decreasing.
@@ -253,14 +286,15 @@ class PostingList:
         """
         last = -1
         for block_no in range(self.num_blocks):
-            for posting in self.read_block_postings(block_no, counted=False):
-                if posting.doc_id < last:
+            entries = self.read_block_postings(block_no, counted=False)
+            for doc_id in entries.doc_ids:
+                if doc_id < last:
                     raise TamperDetectedError(
-                        f"doc ID {posting.doc_id} after {last}",
+                        f"doc ID {doc_id} after {last}",
                         location=f"posting list '{self.name}', block {block_no}",
                         invariant="posting-monotonicity",
                     )
-                last = posting.doc_id
+                last = doc_id
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -294,6 +328,10 @@ class PostingCursor:
     def __init__(self, posting_list: PostingList, *, term_code: Optional[int] = None):
         self.posting_list = posting_list
         self.term_code = term_code
+        # Precomputed filter target: the masked term ID the cursor keeps.
+        self._want = (
+            None if term_code is None else term_code & MAX_TERM_ID_WITH_TF
+        )
         #: Distinct block numbers loaded by this cursor.
         self.blocks_read: Set[int] = set()
         #: Block loads served by the list's shared read cache (0 when the
@@ -303,7 +341,9 @@ class PostingCursor:
         # the query processor's in-memory block cache.
         self._decoded: dict = {}
         self._block_no = -1
-        self._entries: List[Posting] = []
+        self._entries: DecodedBlock = DecodedBlock.from_payload(b"")
+        self._docs: Sequence[int] = self._entries.doc_ids
+        self._codes: Sequence[int] = self._entries.term_codes
         self._index = 0
         self._exhausted = posting_list.num_blocks == 0
         if not self._exhausted:
@@ -331,7 +371,22 @@ class PostingCursor:
             raise IndexError_(
                 f"cursor over '{self.posting_list.name}' is exhausted"
             )
-        return self._entries[self._index]
+        return Posting(self._docs[self._index], self._codes[self._index])
+
+    @property
+    def current_doc(self) -> int:
+        """Document ID under the cursor, without materializing a posting.
+
+        Raises
+        ------
+        IndexError_
+            If the cursor is exhausted.
+        """
+        if self._exhausted:
+            raise IndexError_(
+                f"cursor over '{self.posting_list.name}' is exhausted"
+            )
+        return self._docs[self._index]
 
     @property
     def position(self) -> Tuple[int, int]:
@@ -354,9 +409,25 @@ class PostingCursor:
         This is the no-auxiliary-index FindGeq a scan-merge join uses;
         jump-indexed seeks live on
         :class:`~repro.core.block_jump_index.BlockJumpIndex`.
+
+        Every block between the cursor and the target is still loaded
+        (sequential semantics — identical block-read accounting to the
+        element-wise scan), but within each block the position advances
+        with one ``bisect`` over the sorted doc-ID column instead of
+        per-posting steps.
         """
-        while not self._exhausted and self.current.doc_id < doc_id:
-            self.advance()
+        while not self._exhausted:
+            docs = self._docs
+            if docs and docs[-1] >= doc_id:
+                self._index = bisect_left(docs, doc_id, self._index)
+                self._settle()
+                return
+            next_block = self._block_no + 1
+            if next_block >= self.posting_list.num_blocks:
+                self._exhausted = True
+                return
+            self._load_block(next_block)
+            self._index = 0
 
     def exhaust(self) -> None:
         """Mark the cursor exhausted without scanning the remaining blocks.
@@ -383,9 +454,16 @@ class PostingCursor:
     # ------------------------------------------------------------------
     def _load_block(self, block_no: int) -> None:
         self._block_no = block_no
-        self._entries = self.peek_block(block_no)
+        entries = self.peek_block(block_no)
+        self._entries = entries
+        if isinstance(entries, DecodedBlock):
+            self._docs = entries.doc_ids
+            self._codes = entries.term_codes
+        else:
+            self._docs = [p.doc_id for p in entries]
+            self._codes = [p.term_code for p in entries]
 
-    def peek_block(self, block_no: int) -> List[Posting]:
+    def peek_block(self, block_no: int) -> DecodedBlock:
         """Load a block's entries *without* moving the cursor.
 
         Counts toward :attr:`blocks_read` the first time; afterwards the
@@ -403,14 +481,21 @@ class PostingCursor:
                 self.cache_hits += 1
         return entries
 
-    def block_entries(self) -> List[Posting]:
+    def block_entries(self) -> DecodedBlock:
         """Entries of the currently loaded block (already paid for)."""
         return self._entries
 
+    def block_doc_ids(self) -> Sequence[int]:
+        """Doc-ID column of the currently loaded block (already paid for)."""
+        return self._docs
+
     def _settle(self) -> None:
         """Advance over block boundaries and filtered-out term codes."""
+        want = self._want
         while True:
-            if self._index >= len(self._entries):
+            codes = self._codes
+            index = self._index
+            if index >= len(codes):
                 next_block = self._block_no + 1
                 if next_block >= self.posting_list.num_blocks:
                     self._exhausted = True
@@ -418,13 +503,13 @@ class PostingCursor:
                 self._load_block(next_block)
                 self._index = 0
                 continue
-            if (
-                self.term_code is not None
-                and self._entries[self._index].term_code & MAX_TERM_ID_WITH_TF
-                != self.term_code & MAX_TERM_ID_WITH_TF
-            ):
-                self._index += 1
-                continue
+            if want is not None:
+                size = len(codes)
+                while index < size and codes[index] & MAX_TERM_ID_WITH_TF != want:
+                    index += 1
+                self._index = index
+                if index >= size:
+                    continue
             return
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -33,7 +33,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.block_jump_index import BlockJumpIndex
 from repro.core.merge import PopularUnmergedMerge, UniformHashMerge
-from repro.core.posting import MAX_TERM_ID_WITH_TF, unpack_term_tf
+from repro.core.posting import MAX_TERM_ID_WITH_TF
 from repro.core.posting_list import PostingList
 from repro.errors import TamperDetectedError, WorkloadError
 from repro.search.join import MergedListCursor, conjunctive_join
@@ -420,11 +420,13 @@ class SealedSegment:
         *,
         branching: Optional[int],
         read_cache=None,
+        decode_metrics=None,
     ):
         self.store = store
         self.info = info
         self.branching = branching
         self.read_cache = read_cache
+        self.decode_metrics = decode_metrics
         self._assign = _LazyAssignment(_assignment_for(info))
         self._lists: Dict[int, PostingList] = {}
         self._jumps: Dict[int, BlockJumpIndex] = {}
@@ -451,6 +453,8 @@ class SealedSegment:
                 posting_list = PostingList(self.store, name)
             if self.read_cache is not None:
                 posting_list.read_cache = self.read_cache.blocks
+            if self.decode_metrics is not None:
+                posting_list.decode_metrics = self.decode_metrics
             self._lists[list_id] = posting_list
         return posting_list
 
@@ -496,12 +500,21 @@ class SealedSegment:
             posting_list = self._attach(list_id)
             if posting_list is None:
                 continue
-            for posting in posting_list.scan(counted=False, cached=cached):
-                entries += 1
-                term_id, tf = unpack_term_tf(posting.term_code)
-                if term_id in wanted_set:
-                    tf_map = candidates.setdefault(posting.doc_id, {})
-                    tf_map[term_id] = max(tf_map.get(term_id, 0), tf)
+            # Columnar scan: per block, two flat integer columns instead
+            # of a Posting object per entry; the unpack is inlined.
+            for docs, codes in posting_list.scan_columns(
+                counted=False, cached=cached
+            ):
+                entries += len(docs)
+                for doc_id, code in zip(docs, codes):
+                    term_id = code & MAX_TERM_ID_WITH_TF
+                    if term_id in wanted_set:
+                        tf_map = candidates.setdefault(doc_id, {})
+                        tf = code >> 24
+                        if tf < 1:
+                            tf = 1
+                        if tf > tf_map.get(term_id, 0):
+                            tf_map[term_id] = tf
         return entries
 
     # ------------------------------------------------------------------

@@ -33,7 +33,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.block_jump_index import BlockJumpIndex
 from repro.core.merge import MergeStrategy, TermAssignment, UniformHashMerge
-from repro.core.posting import MAX_TERM_ID_WITH_TF, pack_term_tf, unpack_term_tf
+from repro.core.posting import MAX_TERM_ID_WITH_TF, pack_term_tf
 from repro.core.posting_list import PostingList
 from repro.core.segments import (
     STRATEGY_POPULAR,
@@ -54,6 +54,7 @@ from repro.observability.metrics import MetricsRegistry
 from repro.search.analyzer import Analyzer
 from repro.search.documents import DocumentStore
 from repro.search.join import MergedListCursor, conjunctive_join
+from repro.search.lexicon import PrefixHashLexicon
 from repro.search.query import QueryMode, parse_query
 from repro.search.ranking import BM25Scorer, CollectionStats, CosineScorer
 from repro.search.readcache import ReadCache
@@ -259,9 +260,10 @@ class TrustworthySearchEngine:
         self._assignment: Optional[TermAssignment] = None
         self.time_index = CommitTimeIndex(self.store, "engine/commit-times")
         # Lexicon: term string <-> engine-local term ID (order of first
-        # appearance).  Rebuildable from the WORM lexicon log.
-        self._term_ids: Dict[str, int] = {}
-        self._terms: List[str] = []
+        # appearance).  Rebuildable from the WORM lexicon log.  The
+        # hashed-prefix layer accelerates ordered probes (prefix
+        # expansion) without slowing exact resolution.
+        self._lexicon = PrefixHashLexicon()
         self._lexicon_file = self.store.ensure_file("engine/lexicon")
         # Physical lists are created lazily as terms first hash into them.
         self._lists: Dict[int, PostingList] = {}
@@ -309,9 +311,7 @@ class TrustworthySearchEngine:
         )
         for raw in payload.split(b"\n"):
             if raw:
-                term = raw.decode("utf-8")
-                self._term_ids[term] = len(self._terms)
-                self._terms.append(term)
+                self._lexicon.add(raw.decode("utf-8"))
         commit_times = {}
         for commit_time, doc_id in self.time_index.iter_records():
             commit_times[doc_id] = commit_time
@@ -415,6 +415,19 @@ class TrustworthySearchEngine:
             "Posting entries scanned on the disjunctive path",
             labels=base,
         ).labels(**bound)
+        self._c_decode_blocks = m.counter(
+            "repro_decode_blocks_total",
+            "Posting blocks batch-decoded into doc-id/term-code columns",
+            labels=base,
+        ).labels(**bound)
+        self._c_decode_postings = m.counter(
+            "repro_decode_postings_total",
+            "Posting entries batch-decoded into columns",
+            labels=base,
+        ).labels(**bound)
+        #: Pair attached to every posting list this engine opens, so any
+        #: block decode — query, audit, restore — lands in the series.
+        self._decode_series = (self._c_decode_blocks, self._c_decode_postings)
         self._m_ingest = m.histogram(
             "repro_ingest_seconds",
             "Per-document commit+index latency",
@@ -496,7 +509,7 @@ class TrustworthySearchEngine:
         query-time lookups always agree on one byte sequence per term.
         """
         term = lexicon_key(term)
-        existing = self._term_ids.get(term)
+        existing = self._lexicon.lookup(term)
         if existing is not None or not create:
             return existing
         if "\n" in term:
@@ -504,22 +517,33 @@ class TrustworthySearchEngine:
                 f"term {term!r} contains a newline; the WORM lexicon log "
                 f"is newline-delimited and cannot represent it"
             )
-        term_id = len(self._terms)
-        if term_id > MAX_TERM_ID_WITH_TF:
+        if len(self._lexicon) > MAX_TERM_ID_WITH_TF:
             raise WorkloadError("lexicon exceeded the 24-bit term-id space")
-        self._term_ids[term] = term_id
-        self._terms.append(term)
+        term_id = self._lexicon.add(term)
         self._lexicon_file.append_record(term.encode("utf-8") + b"\n")
         return term_id
 
     @property
     def vocabulary_size(self) -> int:
         """Number of distinct terms seen so far."""
-        return len(self._terms)
+        return len(self._lexicon)
 
     def term_text(self, term_id: int) -> str:
         """The term string behind an engine-local term ID."""
-        return self._terms[term_id]
+        return self._lexicon.term(term_id)
+
+    def terms_with_prefix(
+        self, prefix: str, *, limit: Optional[int] = None
+    ) -> List[str]:
+        """Vocabulary terms starting with ``prefix``, lexicographically.
+
+        Served by the lexicon's hashed-prefix layer: one hash probe to
+        the prefix bucket plus a short comparison tail, instead of a
+        binary search over the whole vocabulary.  The prefix is
+        canonicalized the same way terms are, so callers can pass raw
+        user input.
+        """
+        return self._lexicon.terms_with_prefix(lexicon_key(prefix), limit=limit)
 
     # ------------------------------------------------------------------
     # physical lists
@@ -560,6 +584,8 @@ class TrustworthySearchEngine:
                 # Attached after construction, so restart recovery
                 # (inside PostingList.__init__) always read the device.
                 posting_list.read_cache = self.read_cache.blocks
+            if self._metrics_on:
+                posting_list.decode_metrics = self._decode_series
             self._lists[list_id] = posting_list
         return posting_list, self._jumps.get(list_id)
 
@@ -606,6 +632,7 @@ class TrustworthySearchEngine:
             info,
             branching=self.config.branching,
             read_cache=self.read_cache,
+            decode_metrics=self._decode_series if self._metrics_on else None,
         )
 
     def index_view(self) -> Tuple[Tuple[SealedSegment, ...], TailSnapshot]:
@@ -1009,13 +1036,18 @@ class TrustworthySearchEngine:
                     terms=len(query.terms), mode=query.mode.name.lower()
                 )
         candidates = self.match(query, trace=trace)
-        with self._stage("rank", trace, candidates=len(candidates)):
+        with self._stage("rank", trace, candidates=len(candidates)) as span:
+            # Bulk scoring: one pass over all candidates with per-call
+            # idf/length-norm memoization — bit-identical to scoring
+            # each document individually (see BM25Scorer.score_candidates).
             results = [
-                SearchResult(doc_id=d, score=self._scorer.score(d, tf))
-                for d, tf in candidates.items()
+                SearchResult(doc_id=d, score=s)
+                for d, s in self._scorer.score_candidates(candidates)
             ]
             results.sort(key=lambda r: (-r.score, r.doc_id))
             results = results[:top_k]
+            if span is not None:
+                span.note(scorer="bulk", scored=len(candidates))
         if self._metrics_on:
             self._mode_series(query.mode.name.lower()).inc()
         should_verify = self.config.verify_results if verify is None else verify
@@ -1193,12 +1225,22 @@ class TrustworthySearchEngine:
                 posting_list = self._existing_list(list_id)
                 if posting_list is None:
                     continue
-                for posting in posting_list.scan(counted=False, cached=use_cache):
-                    entries += 1
-                    term_id, tf = unpack_term_tf(posting.term_code)
-                    if term_id in wanted:
-                        tf_map = candidates.setdefault(posting.doc_id, {})
-                        tf_map[term_id] = max(tf_map.get(term_id, 0), tf)
+                # Columnar scan: per block, two flat integer columns
+                # instead of a Posting object per entry (decode and
+                # unpack are batch/inline work, no allocations).
+                for docs, codes in posting_list.scan_columns(
+                    counted=False, cached=use_cache
+                ):
+                    entries += len(docs)
+                    for doc_id, code in zip(docs, codes):
+                        term_id = code & MAX_TERM_ID_WITH_TF
+                        if term_id in wanted:
+                            tf_map = candidates.setdefault(doc_id, {})
+                            tf = code >> 24
+                            if tf < 1:
+                                tf = 1
+                            if tf > tf_map.get(term_id, 0):
+                                tf_map[term_id] = tf
             if self._metrics_on:
                 self._c_scan_entries.inc(entries)
             if span is not None:

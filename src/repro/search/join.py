@@ -52,7 +52,7 @@ class MergedListCursor:
         """Current document ID (``None`` when exhausted)."""
         if self._cursor.exhausted:
             return None
-        return self._cursor.current.doc_id
+        return self._cursor.current_doc
 
     def seek_geq(self, k: int) -> Optional[int]:
         """Advance to the first matching posting with ID >= ``k``."""
@@ -219,7 +219,7 @@ class RawMergedCursor:
         """Current document ID (``None`` when exhausted)."""
         if self._cursor.exhausted:
             return None
-        return self._cursor.current.doc_id
+        return self._cursor.current_doc
 
     def seek_geq(self, k: int) -> Optional[int]:
         """Advance to the first posting (any term) with ID >= ``k``."""
@@ -245,11 +245,11 @@ class RawMergedCursor:
         posting_list = self._cursor.posting_list
         while remaining and block_no < posting_list.num_blocks:
             entries = self._cursor.peek_block(block_no)
-            while index < len(entries):
-                posting = entries[index]
-                if posting.doc_id != doc_id:
+            docs, codes = entries.doc_ids, entries.term_codes
+            while index < len(docs):
+                if docs[index] != doc_id:
                     return not remaining
-                remaining.discard(posting.term_code & MAX_TERM_ID_WITH_TF)
+                remaining.discard(codes[index] & MAX_TERM_ID_WITH_TF)
                 index += 1
             block_no += 1
             index = 0

@@ -1,0 +1,173 @@
+"""Hash-accelerated ordered term lexicon (Wormhole-style).
+
+The engine's lexicon needs two access patterns:
+
+* **exact resolution** (every query term, every ingest token):
+  term → id.  A hash map answers this in O(1) and stays authoritative.
+* **ordered lookup** (prefix expansion, vocabulary inspection):
+  "first term >= key", "all terms starting with p".  The classical
+  structure is a sorted array with binary search — O(log V) *string*
+  comparisons per probe, each touching up to the full key length.
+
+Wormhole (PAPERS.md) observes that most of those comparisons only
+re-derive the key's neighbourhood, which a hash of the key's prefix
+already pins down.  This module applies the idea at the scale this
+engine needs: a **hashed prefix table** maps each fixed-length term
+prefix to the contiguous slice of the sorted term array sharing it, so
+an ordered probe is one O(1) hash lookup plus a bisect over a short
+comparison tail (the handful of terms sharing the prefix) instead of a
+descent over the whole vocabulary.  Probes whose prefix is absent fall
+back to one bisect over the (much smaller) sorted prefix list to find
+the successor bucket.
+
+The ordered layer is derived data, rebuilt lazily: appends (ingest)
+only touch the hash tier, and the first ordered probe after a batch of
+appends re-sorts — near-sorted input, so the rebuild is cheap — and
+re-buckets.  Nothing here is trusted: the lexicon is rebuildable from
+the WORM lexicon log, exactly as before.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Default hashed-prefix length.  Short enough that real vocabularies
+#: share prefixes (buckets stay non-trivial), long enough that buckets
+#: stay short: 4 characters splits a million-term English vocabulary
+#: into tails of a few dozen terms.
+DEFAULT_PREFIX_LEN = 4
+
+
+class PrefixHashLexicon:
+    """Term ↔ id lexicon with a hashed-prefix ordered layer.
+
+    IDs are dense and assigned in first-appearance order (the engine's
+    historical contract).  ``lookup``/``add`` are the hash tier;
+    ``find_geq``/``terms_with_prefix``/``iter_ordered`` are the ordered
+    tier.
+    """
+
+    def __init__(self, *, prefix_len: int = DEFAULT_PREFIX_LEN):
+        if prefix_len < 1:
+            raise ValueError(f"prefix_len must be >= 1, got {prefix_len}")
+        self.prefix_len = prefix_len
+        self._ids: Dict[str, int] = {}
+        self._terms: List[str] = []
+        # Ordered layer (lazily rebuilt): terms sorted lexicographically,
+        # the sorted list of distinct prefixes, and prefix -> (lo, hi)
+        # half-open slices into the sorted term list.
+        self._sorted: List[str] = []
+        self._prefixes: List[str] = []
+        self._buckets: Dict[str, Tuple[int, int]] = {}
+        #: How many terms the ordered layer has folded in; appends beyond
+        #: this count mark the layer stale.
+        self._ordered_count = 0
+        #: Ordered-layer rebuilds performed (observability/testing).
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # hash tier: exact resolution
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def lookup(self, term: str) -> Optional[int]:
+        """Exact term → id (O(1); ``None`` when absent)."""
+        return self._ids.get(term)
+
+    def add(self, term: str) -> int:
+        """Append a new term, returning its dense id.
+
+        The caller guarantees novelty (the engine checks ``lookup``
+        first); the ordered layer is only marked stale, not rebuilt.
+        """
+        term_id = len(self._terms)
+        self._ids[term] = term_id
+        self._terms.append(term)
+        return term_id
+
+    def term(self, term_id: int) -> str:
+        """The term string behind a dense id."""
+        return self._terms[term_id]
+
+    # ------------------------------------------------------------------
+    # ordered tier: hashed prefix table + short comparison tail
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        if self._ordered_count == len(self._terms):
+            return
+        # Re-sorting the previous sorted run plus the new tail is
+        # near-sorted input — cheap for Timsort.
+        self._sorted = sorted(self._terms)
+        plen = self.prefix_len
+        buckets: Dict[str, Tuple[int, int]] = {}
+        start = 0
+        current: Optional[str] = None
+        for index, term in enumerate(self._sorted):
+            prefix = term[:plen]
+            if prefix != current:
+                if current is not None:
+                    buckets[current] = (start, index)
+                current = prefix
+                start = index
+        if current is not None:
+            buckets[current] = (start, len(self._sorted))
+        self._buckets = buckets
+        self._prefixes = sorted(buckets)
+        self._ordered_count = len(self._terms)
+        self.rebuilds += 1
+
+    def find_geq(self, key: str) -> Optional[str]:
+        """The smallest term ``>= key`` (``None`` when every term is below).
+
+        One hash probe on ``key``'s prefix narrows the search to the
+        bucket's short tail; only a missing prefix pays a bisect, and
+        then over the prefix list, not the term list.
+        """
+        self._refresh()
+        index = self._geq_index(key)
+        if index >= len(self._sorted):
+            return None
+        return self._sorted[index]
+
+    def _geq_index(self, key: str) -> int:
+        prefix = key[: self.prefix_len]
+        bucket = self._buckets.get(prefix)
+        if bucket is not None:
+            lo, hi = bucket
+            return bisect_left(self._sorted, key, lo, hi)
+        # No term shares the prefix: the answer is the first term of the
+        # successor bucket (every term in it compares > key, since it
+        # differs from key within the prefix already).
+        slot = bisect_left(self._prefixes, prefix)
+        if slot >= len(self._prefixes):
+            return len(self._sorted)
+        lo, _hi = self._buckets[self._prefixes[slot]]
+        return lo
+
+    def terms_with_prefix(
+        self, prefix: str, *, limit: Optional[int] = None
+    ) -> List[str]:
+        """All terms starting with ``prefix``, in order (capped at ``limit``)."""
+        self._refresh()
+        out: List[str] = []
+        index = self._geq_index(prefix)
+        size = len(self._sorted)
+        while index < size and self._sorted[index].startswith(prefix):
+            out.append(self._sorted[index])
+            if limit is not None and len(out) >= limit:
+                break
+            index += 1
+        return out
+
+    def iter_ordered(self) -> Iterator[str]:
+        """Every term in lexicographic order."""
+        self._refresh()
+        return iter(list(self._sorted))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PrefixHashLexicon({len(self._terms)} terms, "
+            f"{len(self._buckets)} prefix buckets)"
+        )

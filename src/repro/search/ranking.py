@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, Mapping, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 
 class CollectionStats:
@@ -103,6 +103,50 @@ class BM25Scorer:
             total += self.idf(term) * (tf * (self.k1 + 1)) / (tf + norm)
         return total
 
+    def score_candidates(
+        self, candidates: Mapping[int, Mapping[int, int]]
+    ) -> List[Tuple[int, float]]:
+        """Score every candidate document in one bulk pass.
+
+        ``candidates`` maps doc_id -> {query term -> tf}.  Produces
+        exactly the floats :meth:`score` would — the same arithmetic in
+        the same order — but hoists everything loop-invariant out of the
+        per-document work: each distinct term's idf is computed once per
+        call (not once per document), the length norm is memoized per
+        distinct document length, and attribute lookups happen once.
+        Since collection statistics cannot change mid-query, the cached
+        values are identical to the recomputed ones, so results are
+        bit-for-bit unchanged.
+        """
+        k1 = self.k1
+        b = self.b
+        one_minus_b = 1 - b
+        k1_plus_1 = k1 + 1
+        avg = self.stats.avg_doc_length
+        doc_length = self.stats.doc_length
+        idf = self.idf
+        idf_cache: Dict[int, float] = {}
+        norm_cache: Dict[int, float] = {}
+        scored: List[Tuple[int, float]] = []
+        append = scored.append
+        for doc_id, term_freqs in candidates.items():
+            dl = doc_length(doc_id)
+            norm = norm_cache.get(dl)
+            if norm is None:
+                norm = k1 * (one_minus_b + b * dl / avg)
+                norm_cache[dl] = norm
+            total = 0.0
+            for term, tf in term_freqs.items():
+                if tf <= 0:
+                    continue
+                w = idf_cache.get(term)
+                if w is None:
+                    w = idf(term)
+                    idf_cache[term] = w
+                total += w * (tf * k1_plus_1) / (tf + norm)
+            append((doc_id, total))
+        return scored
+
 
 class CosineScorer:
     """Cosine similarity with log-tf / idf weights (lnc.ltc style)."""
@@ -126,3 +170,39 @@ class CosineScorer:
                 continue
             total += (1.0 + math.log(tf)) * self.idf(term)
         return total / math.sqrt(dl)
+
+    def score_candidates(
+        self, candidates: Mapping[int, Mapping[int, int]]
+    ) -> List[Tuple[int, float]]:
+        """Bulk counterpart of :meth:`score` (same floats, one pass).
+
+        Per-term idf and the per-tf log weight are computed once per
+        distinct value instead of once per document; the arithmetic and
+        its order match :meth:`score` exactly, so scores are
+        bit-for-bit identical.
+        """
+        doc_length = self.stats.doc_length
+        idf = self.idf
+        idf_cache: Dict[int, float] = {}
+        tf_weight_cache: Dict[int, float] = {}
+        sqrt = math.sqrt
+        log = math.log
+        scored: List[Tuple[int, float]] = []
+        append = scored.append
+        for doc_id, term_freqs in candidates.items():
+            dl = max(1, doc_length(doc_id))
+            total = 0.0
+            for term, tf in term_freqs.items():
+                if tf <= 0:
+                    continue
+                w = idf_cache.get(term)
+                if w is None:
+                    w = idf(term)
+                    idf_cache[term] = w
+                tfw = tf_weight_cache.get(tf)
+                if tfw is None:
+                    tfw = 1.0 + log(tf)
+                    tf_weight_cache[tf] = tfw
+                total += tfw * w
+            append((doc_id, total / sqrt(dl)))
+        return scored

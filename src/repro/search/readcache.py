@@ -115,13 +115,22 @@ class DecodedBlockCache:
         return entries
 
     def put(self, name: str, block_no: int, entries: List[Posting]) -> None:
-        """Cache a freshly decoded block (evicting under the byte budget)."""
+        """Cache a freshly decoded block (evicting under the byte budget).
+
+        Column-valued entries (:class:`~repro.core.vecdecode.DecodedBlock`)
+        report their resident size exactly via ``nbytes``; legacy
+        ``List[Posting]`` entries keep the per-object cost model.
+        """
         key = (name, block_no)
         if key in self._entries:
             # Re-decoded concurrently with an earlier put; keep the newer
             # copy (identical content for frozen blocks, fresher for tails).
             self._drop(key)
-        weight = BLOCK_MEMORY_OVERHEAD + POSTING_MEMORY_COST * len(entries)
+        nbytes = getattr(entries, "nbytes", None)
+        if nbytes is not None:
+            weight = BLOCK_MEMORY_OVERHEAD + nbytes
+        else:
+            weight = BLOCK_MEMORY_OVERHEAD + POSTING_MEMORY_COST * len(entries)
         if weight > self.capacity_bytes:
             return  # would evict the whole cache for one oversized block
         while self._entries and self.resident_bytes + weight > self.capacity_bytes:

@@ -1,20 +1,26 @@
 """Sharded parallel query execution and batched ingestion.
 
 Partitions a trustworthy archive across ``K`` independent engine shards
-(stable hash routing, WORM document map), fans queries out on a thread
-pool with globally consistent ranking, and ingests document batches one
-pass per merged posting list.
+(stable hash routing, WORM document map), fans queries out with globally
+consistent ranking — on a thread pool over in-process shards, or on
+per-shard worker processes for GIL-free scoring — and ingests document
+batches one pass per merged posting list.
 """
 
 from repro.sharding.batch import BatchIngestor
 from repro.sharding.engine import ShardedSearchEngine
-from repro.sharding.executor import AggregatedTermStats, ParallelQueryExecutor
+from repro.sharding.executor import (
+    AggregatedTermStats,
+    ParallelQueryExecutor,
+    ProcessShardExecutor,
+)
 from repro.sharding.router import ShardAssignment, ShardRouter, stable_shard
 
 __all__ = [
     "AggregatedTermStats",
     "BatchIngestor",
     "ParallelQueryExecutor",
+    "ProcessShardExecutor",
     "ShardAssignment",
     "ShardRouter",
     "ShardedSearchEngine",

@@ -37,7 +37,7 @@ from repro.search.engine import (
 )
 from repro.search.query import parse_query
 from repro.sharding.batch import BatchIngestor
-from repro.sharding.executor import ParallelQueryExecutor
+from repro.sharding.executor import ParallelQueryExecutor, ProcessShardExecutor
 from repro.sharding.router import ShardRouter
 from repro.worm.storage import CachedWormStore
 
@@ -98,6 +98,17 @@ class ShardedSearchEngine:
         Query fan-out thread-pool width (default: one per shard).
     batch_size:
         Auto-flush threshold of the buffered ingest path.
+    executor:
+        ``"thread"`` (default) fans queries out on a thread pool over
+        the in-process shard engines; ``"process"`` spawns one worker
+        process per shard (GIL-free matching and scoring) — requires
+        ``shard_paths``, and workers see a snapshot of each shard
+        journal taken at spawn (``executor.refresh()`` after ingest
+        picks up new commits).  Both return identical results.
+    shard_paths:
+        Filesystem paths of the per-shard WORM journals (one per
+        shard), required by the process executor so workers can reopen
+        the shards in their own processes.
     metrics:
         Metrics registry shared by every shard, the executor, and the
         batch ingestor; each shard stamps its series with a
@@ -116,10 +127,27 @@ class ShardedSearchEngine:
         coordinator_store: Optional[CachedWormStore] = None,
         max_workers: Optional[int] = None,
         batch_size: int = 64,
+        executor: str = "thread",
+        shard_paths: Optional[Sequence[str]] = None,
         metrics=None,
     ):
         if num_shards <= 0:
             raise WorkloadError(f"num_shards must be positive, got {num_shards}")
+        if executor not in ("thread", "process"):
+            raise WorkloadError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if executor == "process":
+            if shard_paths is None:
+                raise WorkloadError(
+                    "executor='process' needs shard_paths (per-shard journal "
+                    "files workers can reopen); in-memory shards cannot be "
+                    "shared across processes"
+                )
+            if len(shard_paths) != num_shards:
+                raise WorkloadError(
+                    f"got {len(shard_paths)} shard paths for {num_shards} shards"
+                )
         self.config = config or EngineConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         if store_factory is None:
@@ -142,14 +170,24 @@ class ShardedSearchEngine:
         )
         self.router = ShardRouter(self.coordinator, num_shards)
         self.analyzer = Analyzer()
-        self.executor = ParallelQueryExecutor(
-            self.shards,
-            self.router,
-            self.config,
-            max_workers=max_workers,
-            analyzer=self.analyzer,
-            metrics=self.metrics,
-        )
+        self.executor_kind = executor
+        if executor == "process":
+            self.executor = ProcessShardExecutor(
+                shard_paths,
+                self.router,
+                self.config,
+                analyzer=self.analyzer,
+                metrics=self.metrics,
+            )
+        else:
+            self.executor = ParallelQueryExecutor(
+                self.shards,
+                self.router,
+                self.config,
+                max_workers=max_workers,
+                analyzer=self.analyzer,
+                metrics=self.metrics,
+            )
         self.ingestor = BatchIngestor(
             self.shards,
             self.router,

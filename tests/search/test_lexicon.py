@@ -1,0 +1,138 @@
+"""PrefixHashLexicon: hash tier + hashed-prefix ordered tier.
+
+The ordered tier must agree with a plain sorted-list reference on every
+probe — the hashed prefix table is an accelerator, never an
+approximation — and the hash tier must preserve the engine's dense
+first-appearance ID contract.
+"""
+
+from bisect import bisect_left
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.engine import EngineConfig, TrustworthySearchEngine
+from repro.search.lexicon import PrefixHashLexicon
+
+terms_strategy = st.lists(
+    st.text(alphabet="abcz", min_size=1, max_size=6), unique=True, max_size=60
+)
+probe_strategy = st.text(alphabet="abcz", max_size=6)
+
+
+def reference_geq(terms, key):
+    ordered = sorted(terms)
+    index = bisect_left(ordered, key)
+    return ordered[index] if index < len(ordered) else None
+
+
+class TestHashTier:
+    def test_dense_first_appearance_ids(self):
+        lexicon = PrefixHashLexicon()
+        assert lexicon.add("gamma") == 0
+        assert lexicon.add("alpha") == 1
+        assert lexicon.add("beta") == 2
+        assert lexicon.lookup("alpha") == 1
+        assert lexicon.lookup("missing") is None
+        assert lexicon.term(0) == "gamma"
+        assert len(lexicon) == 3
+
+    def test_prefix_len_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            PrefixHashLexicon(prefix_len=0)
+
+
+class TestOrderedTier:
+    @given(terms=terms_strategy, key=probe_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_property_find_geq_matches_sorted_reference(self, terms, key):
+        lexicon = PrefixHashLexicon(prefix_len=2)
+        for term in terms:
+            lexicon.add(term)
+        assert lexicon.find_geq(key) == reference_geq(terms, key)
+
+    @given(terms=terms_strategy, prefix=probe_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_property_terms_with_prefix_matches_reference(self, terms, prefix):
+        lexicon = PrefixHashLexicon(prefix_len=2)
+        for term in terms:
+            lexicon.add(term)
+        expected = sorted(t for t in terms if t.startswith(prefix))
+        assert lexicon.terms_with_prefix(prefix) == expected
+        limit = 3
+        assert lexicon.terms_with_prefix(prefix, limit=limit) == expected[:limit]
+
+    @given(terms=terms_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_property_iter_ordered_is_sorted(self, terms):
+        lexicon = PrefixHashLexicon(prefix_len=2)
+        for term in terms:
+            lexicon.add(term)
+        assert list(lexicon.iter_ordered()) == sorted(terms)
+
+    def test_rebuild_is_lazy_and_batched(self):
+        lexicon = PrefixHashLexicon()
+        for term in ("delta", "alpha", "charlie"):
+            lexicon.add(term)
+        assert lexicon.rebuilds == 0
+        lexicon.find_geq("b")
+        assert lexicon.rebuilds == 1
+        # Ordered probes without intervening appends reuse the layer.
+        lexicon.terms_with_prefix("a")
+        lexicon.find_geq("z")
+        assert lexicon.rebuilds == 1
+        lexicon.add("bravo")
+        lexicon.find_geq("b")
+        assert lexicon.rebuilds == 2
+
+    def test_probe_longer_and_shorter_than_prefix_len(self):
+        lexicon = PrefixHashLexicon(prefix_len=4)
+        for term in ("retain", "retention", "retrieval", "zebra"):
+            lexicon.add(term)
+        assert lexicon.terms_with_prefix("ret") == [
+            "retain",
+            "retention",
+            "retrieval",
+        ]
+        assert lexicon.terms_with_prefix("retention") == ["retention"]
+        assert lexicon.find_geq("reta") == "retain"
+        assert lexicon.find_geq("zz") is None
+
+
+class TestEngineIntegration:
+    def build(self):
+        engine = TrustworthySearchEngine(
+            EngineConfig(num_lists=8, block_size=4096, branching=None)
+        )
+        engine.index_document("retention policy for retained records")
+        engine.index_document("retrieval of compliant records")
+        return engine
+
+    def test_terms_with_prefix(self):
+        engine = self.build()
+        assert engine.terms_with_prefix("ret") == [
+            "retained",
+            "retention",
+            "retrieval",
+        ]
+        assert engine.terms_with_prefix("ret", limit=1) == ["retained"]
+        assert engine.terms_with_prefix("zzz") == []
+
+    def test_prefix_canonicalized_like_terms(self):
+        engine = self.build()
+        # lexicon_key truncation applies to prefixes exactly as to terms,
+        # so an over-long probe degrades to its stored canonical form
+        # instead of silently matching nothing.
+        long_term = "r" * 400
+        engine.index_term_counts({long_term: 1})
+        assert engine.terms_with_prefix(long_term) == engine.terms_with_prefix(
+            "r" * 128
+        )
+
+    def test_lexicon_survives_restart(self):
+        engine = self.build()
+        reopened = TrustworthySearchEngine(engine.config, store=engine.store)
+        assert reopened.terms_with_prefix("ret") == engine.terms_with_prefix("ret")
+        assert reopened.vocabulary_size == engine.vocabulary_size

@@ -31,6 +31,10 @@ EMOJI_TERM = "x" + "\U0001f512" * 40
 LONG_ASCII = "a" * 300
 
 
+def vocabulary(engine):
+    return [engine.term_text(i) for i in range(engine.vocabulary_size)]
+
+
 def reopen(engine):
     return TrustworthySearchEngine(CONFIG, store=engine.store)
 
@@ -83,14 +87,14 @@ class TestRestartRoundTrip:
         engine = TrustworthySearchEngine(CONFIG)
         engine.index_term_counts({CJK_TERM: 1, LONG_ASCII: 1})
         reopened = reopen(engine)
-        assert reopened._terms == engine._terms
+        assert vocabulary(reopened) == vocabulary(engine)
 
     def test_repeated_restarts_are_stable(self):
         engine = TrustworthySearchEngine(CONFIG)
         engine.index_term_counts({CJK_TERM: 1})
         once = reopen(engine)
         twice = reopen(once)
-        assert twice._terms == engine._terms
+        assert vocabulary(twice) == vocabulary(engine)
         assert twice.vocabulary_size == 1
 
     def test_newline_terms_are_rejected(self):

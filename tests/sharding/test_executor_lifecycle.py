@@ -1,0 +1,99 @@
+"""Executor lifecycle: close is idempotent, reuse-after-close errors.
+
+Before the explicit closed state, ``ParallelQueryExecutor.close()`` set
+``_pool = None`` and the lazy ``pool`` property silently respawned a
+fresh pool on the next query — resurrecting an executor its owner had
+already released, and leaking the new pool (the owner never closes
+twice).  Both executors now refuse queries after close and tolerate
+repeated closes.
+"""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.search.engine import EngineConfig
+from repro.sharding.engine import ShardedSearchEngine
+from repro.sharding.executor import ProcessShardExecutor
+
+
+@pytest.fixture
+def sharded():
+    engine = ShardedSearchEngine(
+        EngineConfig(num_lists=16, block_size=4096, branching=None),
+        num_shards=2,
+    )
+    engine.index_batch(["alpha beta", "beta gamma", "gamma alpha"])
+    yield engine
+    engine.close()
+
+
+class TestThreadExecutorLifecycle:
+    def test_close_is_idempotent(self, sharded):
+        sharded.executor.close()
+        sharded.executor.close()
+        assert sharded.executor.closed
+
+    def test_search_after_close_raises(self, sharded):
+        assert sharded.search("beta", top_k=5)
+        sharded.close()
+        with pytest.raises(WorkloadError, match="closed"):
+            sharded.search("beta", top_k=5)
+
+    def test_pool_property_after_close_raises(self, sharded):
+        sharded.executor.close()
+        with pytest.raises(WorkloadError, match="closed"):
+            sharded.executor.pool
+
+    def test_pool_not_respawned_by_close_close(self, sharded):
+        # Trigger lazy pool creation, close, and verify no pool returns.
+        sharded.search("alpha", top_k=5)
+        sharded.executor.close()
+        assert sharded.executor._pool is None
+
+    def test_engine_context_manager_closes_executor(self):
+        with ShardedSearchEngine(
+            EngineConfig(num_lists=16, block_size=4096, branching=None),
+            num_shards=2,
+        ) as engine:
+            engine.index_batch(["alpha beta"])
+        assert engine.executor.closed
+
+
+class TestProcessExecutorLifecycle:
+    """Mirror of the thread-executor contract (no workers spawned)."""
+
+    def make(self, tmp_path):
+        engine = ShardedSearchEngine(
+            EngineConfig(num_lists=16, block_size=4096, branching=None),
+            num_shards=2,
+            executor="process",
+            shard_paths=[str(tmp_path / "s0"), str(tmp_path / "s1")],
+        )
+        assert isinstance(engine.executor, ProcessShardExecutor)
+        return engine
+
+    def test_close_is_idempotent(self, tmp_path):
+        engine = self.make(tmp_path)
+        engine.executor.close()
+        engine.executor.close()
+        assert engine.executor.closed
+
+    def test_search_after_close_raises(self, tmp_path):
+        engine = self.make(tmp_path)
+        engine.close()
+        with pytest.raises(WorkloadError, match="closed"):
+            engine.search("beta", top_k=5)
+
+    def test_constructor_validation(self):
+        config = EngineConfig(num_lists=16, block_size=4096, branching=None)
+        with pytest.raises(WorkloadError, match="shard_paths"):
+            ShardedSearchEngine(config, num_shards=2, executor="process")
+        with pytest.raises(WorkloadError, match="2 shard paths for 3 shards"):
+            ShardedSearchEngine(
+                config,
+                num_shards=3,
+                executor="process",
+                shard_paths=["a", "b"],
+            )
+        with pytest.raises(WorkloadError, match="executor"):
+            ShardedSearchEngine(config, num_shards=2, executor="fiber")

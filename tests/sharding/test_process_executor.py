@@ -1,0 +1,112 @@
+"""Process-level shard fan-out: equivalence with the thread executor.
+
+The process executor must be a drop-in replacement for the thread
+executor over the same committed state: same results, same scores, same
+aggregated-statistics arithmetic.  Workers reopen the shard journals in
+their own interpreters, so these tests build small file-backed archives
+through :func:`repro.cli.open_archive`.
+"""
+
+import pytest
+
+from repro.cli import open_archive
+from repro.errors import ReproError
+from repro.search.engine import EngineConfig
+
+DOCS = [
+    "regulatory compliant record retention policy",
+    "keyword search over worm storage devices",
+    "trustworthy record keeping for compliance audits",
+    "fast posting decode and bulk scoring",
+    "the quick brown fox jumped over the records",
+    "retention horizon disposal of expired records",
+    "compliance officers search retention records",
+    "storage device firmware enforces write once",
+]
+
+QUERIES = [
+    "record retention",
+    "compliance",
+    "storage device",
+    "+retention +records",
+    "search keyword storage",
+]
+
+
+@pytest.fixture
+def archive(tmp_path):
+    """A 3-shard file-backed archive with committed documents."""
+    path = str(tmp_path / "archive.worm")
+    engine, handle = open_archive(
+        path,
+        create=EngineConfig(num_lists=32, block_size=4096, branching=None),
+        shards=3,
+    )
+    engine.index_batch(DOCS * 3)
+    handle.close()
+    return path
+
+
+class TestEquivalence:
+    def test_process_results_equal_thread_results(self, archive):
+        thread_engine, thread_handle = open_archive(archive)
+        process_engine, process_handle = open_archive(archive, executor="process")
+        try:
+            assert process_engine.executor_kind == "process"
+            for query in QUERIES:
+                expected = thread_engine.search(query, top_k=10)
+                actual = process_engine.search(query, top_k=10)
+                assert actual == expected, query
+        finally:
+            thread_handle.close()
+            process_handle.close()
+
+    def test_aggregate_stats_match(self, archive):
+        thread_engine, thread_handle = open_archive(archive)
+        process_engine, process_handle = open_archive(archive, executor="process")
+        try:
+            terms = ("retention", "records", "unseen-term")
+            expected = thread_engine.executor.aggregate_term_stats(terms)
+            actual = process_engine.executor.aggregate_term_stats(terms)
+            assert actual == expected
+        finally:
+            thread_handle.close()
+            process_handle.close()
+
+    def test_verification_runs_on_process_results(self, archive):
+        engine, handle = open_archive(archive, executor="process")
+        try:
+            results = engine.search("retention records", top_k=5, verify=True)
+            assert results
+        finally:
+            handle.close()
+
+
+class TestSnapshotSemantics:
+    def test_refresh_picks_up_new_commits(self, archive):
+        engine, handle = open_archive(archive, executor="process")
+        try:
+            before = engine.search("zanzibar", top_k=5)
+            assert before == []
+            engine.index_batch(["zanzibar retention zanzibar"])
+            # Workers still serve the spawn-time snapshot ...
+            assert engine.search("zanzibar", top_k=5) == []
+            # ... until refreshed against the advanced journals.
+            engine.executor.refresh()
+            after = engine.search("zanzibar", top_k=5)
+            assert len(after) == 1
+        finally:
+            handle.close()
+
+
+class TestGuards:
+    def test_single_shard_archive_rejected(self, tmp_path):
+        path = str(tmp_path / "single.worm")
+        _engine, handle = open_archive(
+            path,
+            create=EngineConfig(num_lists=16, block_size=4096, branching=None),
+            shards=1,
+        )
+        handle.close()
+        with pytest.raises(ReproError, match="sharded archive"):
+            open_archive(path, executor="process")
